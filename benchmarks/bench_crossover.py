@@ -1,0 +1,21 @@
+"""Benchmark E12 — tree crossover points (where the ranking flips)."""
+
+from __future__ import annotations
+
+from conftest import one_shot
+
+from repro.experiments import run_crossover, scaled
+
+
+def test_crossovers(benchmark, cfg):
+    xcfg = scaled(16) if cfg.name != "paper" else cfg
+    result = one_shot(benchmark, lambda: run_crossover(xcfg))
+    print()
+    print(result.to_text())
+
+    rows = {r[0]: r[1] for r in result.rows}
+    # Both scalable trees eventually overtake flat, and the hierarchical
+    # tree does so first (it keeps flat's locality inside domains).
+    assert isinstance(rows["hier"], int)
+    assert isinstance(rows["binary"], int)
+    assert rows["hier"] <= rows["binary"]

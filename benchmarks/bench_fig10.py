@@ -1,0 +1,27 @@
+"""Benchmark E1 — regenerate Figure 10 (asymptotic tree-QR scaling)."""
+
+from __future__ import annotations
+
+from conftest import one_shot
+
+from repro.experiments import run_figure10
+
+
+def test_figure10(benchmark, cfg):
+    result = one_shot(benchmark, lambda: run_figure10(cfg))
+    print()
+    print(result.to_text())
+
+    idx = {h: i for i, h in enumerate(result.headers)}
+    last = result.rows[-1]
+    flat, binary, hier = (
+        last[idx["flat_gflops"]],
+        last[idx["binary_gflops"]],
+        last[idx["hier_gflops"]],
+    )
+    # Paper's Figure 10 shape: hierarchical wins at the largest size, the
+    # binary tree is second, the flat tree is far behind and saturated.
+    assert hier > binary > flat
+    assert hier > 2.0 * flat
+    flat_series = result.column("flat_gflops")
+    assert flat_series[-1] < 1.5 * flat_series[1]

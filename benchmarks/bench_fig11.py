@@ -1,0 +1,23 @@
+"""Benchmark E2 — regenerate Figure 11 (strong scaling)."""
+
+from __future__ import annotations
+
+from conftest import one_shot
+
+from repro.experiments import run_figure11
+
+
+def test_figure11(benchmark, cfg):
+    result = one_shot(benchmark, lambda: run_figure11(cfg))
+    print()
+    print(result.to_text())
+
+    hier = result.column("hier_gflops")
+    binary = result.column("binary_gflops")
+    flat = result.column("flat_gflops")
+    # Paper's Figure 11 shape: the tree-parallel reductions keep scaling
+    # with cores while the flat tree saturates early.
+    assert hier[-1] > 2.0 * hier[0]
+    assert binary[-1] > 2.0 * binary[0]
+    assert flat[-1] < 1.3 * flat[1]
+    assert hier[-1] > flat[-1]

@@ -1,0 +1,23 @@
+"""Benchmark E3 — regenerate Figure 7 (domain-boundary pipelining traces)."""
+
+from __future__ import annotations
+
+from conftest import one_shot
+
+from repro.experiments import run_figure7, scaled
+
+
+def test_figure7_boundary_pipelining(benchmark, cfg):
+    # Traces need per-task records; run at a dedicated small scale as the
+    # paper's own traces do.
+    trace_cfg = scaled(16) if cfg.name != "paper" else cfg
+    result = one_shot(benchmark, lambda: run_figure7(trace_cfg))
+    print()
+    print(result.to_text())
+
+    (fixed, shifted) = result.rows
+    # Shifted boundaries pipeline the flat and binary reductions: higher
+    # overlap and a shorter makespan (paper Figures 6/7).
+    assert shifted[1] < fixed[1]  # makespan_s
+    assert shifted[2] > fixed[2]  # gflops
+    assert shifted[3] > fixed[3]  # flat/binary overlap fraction

@@ -1,0 +1,72 @@
+"""Substrate benchmark E8 — throughput of the real NumPy tile kernels.
+
+These measure the actual compute kernels (not the machine model): useful
+for spotting performance regressions in the numerics and for choosing
+``nb``/``ib`` on the host running the functional backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels import geqrt, kernel_flops, ormqr, tsmqr, tsqrt, ttmqr, ttqrt
+
+NB, IB = 128, 32
+
+
+@pytest.fixture()
+def tile_rng():
+    return np.random.default_rng(99)
+
+
+def test_geqrt(benchmark, tile_rng):
+    a0 = tile_rng.standard_normal((NB, NB))
+    t = benchmark(lambda: geqrt(a0.copy(), IB))
+    assert t.shape == (IB, NB)
+
+
+def test_ormqr(benchmark, tile_rng):
+    a = tile_rng.standard_normal((NB, NB))
+    t = geqrt(a, IB)
+    c0 = tile_rng.standard_normal((NB, NB))
+    benchmark(lambda: ormqr(a, t, c0.copy()))
+
+
+def test_tsqrt(benchmark, tile_rng):
+    r0 = np.triu(tile_rng.standard_normal((NB, NB)))
+    b0 = tile_rng.standard_normal((NB, NB))
+    benchmark(lambda: tsqrt(r0.copy(), b0.copy(), IB))
+
+
+def test_tsmqr(benchmark, tile_rng):
+    r = np.triu(tile_rng.standard_normal((NB, NB)))
+    b = tile_rng.standard_normal((NB, NB))
+    t = tsqrt(r, b, IB)
+    c1 = tile_rng.standard_normal((NB, NB))
+    c2 = tile_rng.standard_normal((NB, NB))
+    benchmark(lambda: tsmqr(b, t, c1.copy(), c2.copy()))
+
+
+def test_ttqrt(benchmark, tile_rng):
+    r1 = np.triu(tile_rng.standard_normal((NB, NB)))
+    r2 = np.triu(tile_rng.standard_normal((NB, NB)))
+    benchmark(lambda: ttqrt(r1.copy(), r2.copy(), IB))
+
+
+def test_ttmqr(benchmark, tile_rng):
+    r1 = np.triu(tile_rng.standard_normal((NB, NB)))
+    r2 = np.triu(tile_rng.standard_normal((NB, NB)))
+    t = ttqrt(r1, r2, IB)
+    c1 = tile_rng.standard_normal((NB, NB))
+    c2 = tile_rng.standard_normal((NB, NB))
+    benchmark(lambda: ttmqr(r2, t, c1.copy(), c2.copy()))
+
+
+def test_kernel_flop_ratios():
+    """The cost-model ratios behind the tree trade-off (no timing)."""
+    ts = kernel_flops("TSQRT", NB, NB, 0, IB) + NB * kernel_flops("TSMQR", NB, NB, NB, IB)
+    tt = kernel_flops("TTQRT", NB, NB, 0, IB) + NB * kernel_flops("TTMQR", NB, NB, NB, IB)
+    # A TT elimination moves roughly half the flops of a TS elimination,
+    # which is why the binary tree is viable despite slower TT kernels.
+    assert 0.3 < tt / ts < 0.7

@@ -1,0 +1,26 @@
+"""Benchmarks E8/E9 — memory limits and launch-mapping ablation."""
+
+from __future__ import annotations
+
+from conftest import one_shot
+
+from repro.experiments import run_mapping_ablation, run_memory_limits
+
+
+def test_memory_limits(benchmark, cfg):
+    result = one_shot(benchmark, lambda: run_memory_limits(cfg))
+    print()
+    print(result.to_text())
+    max_ms = result.column("max_m")
+    # Section II: the feasible problem size is capped by the allocation and
+    # grows with it — the reason the paper adds weak scaling.
+    assert max_ms == sorted(max_ms)
+    assert max_ms[-1] > 5 * max_ms[0]
+
+
+def test_mapping_ablation(benchmark, cfg):
+    result = one_shot(benchmark, lambda: run_mapping_ablation(cfg))
+    print()
+    print(result.to_text())
+    g = dict(zip(result.column("launch"), result.column("gflops")))
+    assert g["per-node"] >= g["oversubscribed"]

@@ -1,0 +1,85 @@
+"""Substrate benchmarks — PULSAR runtime and DES engine throughput.
+
+The paper's runtime claim is "minimal scheduling overheads"; these measure
+the per-firing cost of the threaded PRT and the per-task cost of the
+discrete-event engine, the two quantities that bound how fine-grained a
+VSA can be before the runtime dominates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dessim import TaskGraphBuilder, simulate
+from repro.pulsar import VDP, VSA, Packet
+
+
+def _pipeline_vsa(n_stages: int, n_packets: int) -> VSA:
+    def src(vdp):
+        vdp.write(0, Packet.of(vdp.firing_index))
+
+    def relay(vdp):
+        vdp.write(0, vdp.read(0))
+
+    def sink(vdp):
+        vdp.read(0)
+
+    vsa = VSA()
+    vsa.add_vdp(VDP((0,), n_packets, src, n_out=1))
+    for s in range(1, n_stages - 1):
+        vsa.add_vdp(VDP((s,), n_packets, relay, n_in=1, n_out=1))
+    vsa.add_vdp(VDP((n_stages - 1,), n_packets, sink, n_in=1))
+    for s in range(n_stages - 1):
+        vsa.connect((s,), 0, (s + 1,), 0, 128)
+    return vsa
+
+
+def test_prt_firing_throughput(benchmark):
+    """Firings/second of the threaded runtime on a relay pipeline."""
+    n_stages, n_packets = 8, 200
+
+    def run():
+        stats = _pipeline_vsa(n_stages, n_packets).run(
+            workers_per_node=2, deadlock_timeout=30
+        )
+        assert stats.firings == n_stages * n_packets
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert stats.firings == 1600
+
+
+def test_prt_cross_node_throughput(benchmark):
+    """Same pipeline split across two simulated nodes (proxy involved)."""
+    n_stages, n_packets = 8, 100
+
+    def run():
+        vsa = _pipeline_vsa(n_stages, n_packets)
+        return vsa.run(
+            n_nodes=2,
+            workers_per_node=1,
+            mapping=lambda t: 0 if t[0] < 4 else 1,
+            deadlock_timeout=30,
+        )
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert stats.messages_sent == n_packets
+
+
+def test_des_event_throughput(benchmark):
+    """Simulated tasks/second of the DES engine on a layered DAG."""
+    rng = np.random.default_rng(5)
+    b = TaskGraphBuilder()
+    width, depth = 64, 40
+    prev: list[int] = []
+    for layer in range(depth):
+        cur = [b.add_task(1e-3, w % 16) for w in range(width)]
+        for t in cur:
+            for _ in range(2):
+                if prev:
+                    b.add_edge(int(rng.choice(prev)), t, 1e-6)
+        prev = cur
+    g = b.build()
+
+    res = benchmark(lambda: simulate(g, n_workers=16))
+    assert res.n_tasks == width * depth

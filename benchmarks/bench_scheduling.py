@@ -1,0 +1,23 @@
+"""Benchmark E6 — lazy vs aggressive VDP scheduling (Section V-D)."""
+
+from __future__ import annotations
+
+from conftest import one_shot
+
+from repro.experiments import run_scheduling
+
+
+def test_scheduling_ablation(benchmark, cfg):
+    result = one_shot(benchmark, lambda: run_scheduling(cfg))
+    print()
+    print(result.to_text())
+
+    by_tree: dict[str, dict[str, float]] = {}
+    util: dict[tuple[str, str], float] = {}
+    for tree, policy, g, u in result.rows:
+        by_tree.setdefault(tree, {})[policy] = g
+        util[(tree, policy)] = u
+    # The paper's observation: lazy wins for the tree-based QR because the
+    # VDP sweep acts as lookahead.
+    assert by_tree["hier"]["lazy"] >= by_tree["hier"]["aggressive"]
+    assert util[("hier", "lazy")] >= util[("hier", "aggressive")]

@@ -1,0 +1,29 @@
+"""Benchmark E4 — regenerate the Section VI-A solver comparison."""
+
+from __future__ import annotations
+
+from conftest import one_shot
+
+from repro.experiments import run_section6a_strong, run_section6a_weak
+
+
+def test_section6a_strong(benchmark, cfg):
+    result = one_shot(benchmark, lambda: run_section6a_strong(cfg))
+    print()
+    print(result.to_text())
+
+    idx = {h: i for i, h in enumerate(result.headers)}
+    # Skip the smallest allocation (fits on a couple of nodes; every
+    # runtime is latency-free there).
+    for row in result.rows[1:]:
+        assert row[idx["pulsar/parsec"]] > 1.0
+        assert row[idx["pulsar/scalapack"]] > 1.0
+    # At the largest allocation the ScaLAPACK gap is substantial.
+    assert result.rows[-1][idx["pulsar/scalapack"]] > 1.4
+
+
+def test_section6a_weak(benchmark, cfg):
+    result = one_shot(benchmark, lambda: run_section6a_weak(cfg))
+    print()
+    print(result.to_text())
+    assert all(row[-1] > 1.0 for row in result.rows)

@@ -1,0 +1,23 @@
+"""Benchmark E5 — the Section VI tuning sweep (nb x h, best-of protocol)."""
+
+from __future__ import annotations
+
+from conftest import one_shot
+
+from repro.experiments import run_tuning
+
+
+def test_tuning_sweep(benchmark, cfg):
+    result = one_shot(benchmark, lambda: run_tuning(cfg, m=cfg.fig10_m[2]))
+    print()
+    print(result.to_text())
+
+    # Grid coverage: 2 nb choices per tree, x2 h choices for hier.
+    per_tree = {}
+    for tree, nb, h, g in result.rows:
+        per_tree.setdefault(tree, []).append(g)
+        assert g > 0
+    assert len(per_tree["hier"]) == 4
+    assert len(per_tree["flat"]) == 2
+    # The winner after tuning is still the hierarchical tree.
+    assert max(per_tree["hier"]) >= max(per_tree["flat"])

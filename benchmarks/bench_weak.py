@@ -1,0 +1,20 @@
+"""Benchmark E7 — weak scaling (Section II's motivation)."""
+
+from __future__ import annotations
+
+from conftest import one_shot
+
+from repro.experiments import run_weak_scaling
+
+
+def test_weak_scaling(benchmark, cfg):
+    result = one_shot(benchmark, lambda: run_weak_scaling(cfg))
+    print()
+    print(result.to_text())
+
+    hier = result.column("hier_gflops")
+    flat = result.column("flat_gflops")
+    # Total rate keeps growing for the hierarchical tree as data and
+    # machine grow together; the flat tree cannot absorb the added rows.
+    assert hier[-1] > 3.0 * hier[0]
+    assert hier[-1] > flat[-1]

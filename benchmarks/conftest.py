@@ -1,0 +1,28 @@
+"""Benchmark configuration.
+
+Benchmarks default to a 1/8-scale configuration (same tile size, aspect
+ratios, and tiles-per-core as the paper) so the suite runs in minutes on a
+single core; set ``REPRO_FULL=1`` to run paper-size configurations
+(several minutes of simulation per figure).
+
+Every benchmark measures the *regeneration of one paper artefact* — the
+discrete-event simulation or model evaluation that produces the figure's
+data — and asserts the paper's qualitative claim on the result, so a
+performance regression and a fidelity regression both fail loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import active_config
+
+
+@pytest.fixture(scope="session")
+def cfg():
+    return active_config(default_factor=8)
+
+
+def one_shot(benchmark, fn):
+    """Run a heavy experiment exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Overdetermined least squares — the paper's motivating application.
+
+Section I: "such a QR decomposition is used, for example, to compute a
+least squares solution of an overdetermined system, which arises in many
+scientific and engineering problems."
+
+This example fits a polynomial model to noisy observations: many data
+points (rows), few coefficients (columns) — exactly the tall-and-skinny
+regime the 3D systolic array targets.  It compares the tree-QR solution
+against the normal equations to show why the QR route is the right one on
+ill-conditioned bases.
+
+Run:  python examples/least_squares_fitting.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import lstsq, qr_factor
+from repro.util import make_rng
+
+
+def vandermonde(x: np.ndarray, degree: int) -> np.ndarray:
+    """Monomial basis — deliberately ill-conditioned at higher degrees."""
+    return np.vander(x, degree + 1, increasing=True)
+
+
+def main() -> None:
+    rng = make_rng(7)
+    n_points, degree = 2048, 20
+
+    # Ground truth polynomial and noisy samples of it.
+    coeffs_true = rng.standard_normal(degree + 1)
+    x = np.linspace(-1.0, 1.0, n_points)
+    a = vandermonde(x, degree)
+    b = a @ coeffs_true + 1e-12 * rng.standard_normal(n_points)
+    print(f"design matrix: {a.shape[0]} x {a.shape[1]}, cond = {np.linalg.cond(a):.2e}")
+
+    # --- Tree QR solve ------------------------------------------------------
+    coeffs_qr = lstsq(a, b, nb=64, ib=16, tree="hier", h=4)
+    err_qr = np.linalg.norm(coeffs_qr - coeffs_true)
+    print(f"tree-QR coefficient error      : {err_qr:.3e}")
+
+    # --- Normal equations (the numerically dangerous alternative) ----------
+    # cond(A^T A) = cond(A)^2: accuracy collapses exactly when the basis is
+    # interesting.
+    coeffs_ne = np.linalg.solve(a.T @ a, a.T @ b)
+    err_ne = np.linalg.norm(coeffs_ne - coeffs_true)
+    print(f"normal-equations error         : {err_ne:.3e}")
+    print(f"QR is {err_ne / max(err_qr, 1e-300):.1f}x more accurate here")
+
+    # --- Residual diagnostics via the implicit Q ---------------------------
+    f = qr_factor(a, nb=64, ib=16, tree="hier", h=4)
+    qtb = f.qt_matmul(b)
+    fit_norm = np.linalg.norm(qtb[: degree + 1])
+    resid_norm = np.linalg.norm(qtb[degree + 1 :])
+    print(f"||projection onto range(A)||   : {fit_norm:.6f}")
+    print(f"||least-squares residual||     : {resid_norm:.3e}")
+    # The residual computed from Q^T b must match ||Ax - b||.
+    direct = np.linalg.norm(a @ coeffs_qr - b)
+    print(f"||A x - b|| (direct)           : {direct:.3e}")
+    assert abs(resid_norm - direct) < 1e-8
+
+
+if __name__ == "__main__":
+    main()

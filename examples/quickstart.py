@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: factor a tall-and-skinny matrix with tree-based tile QR.
+
+Covers the three things most users need:
+
+1. ``qr_factor`` with the hierarchical (binary-on-flat) reduction tree —
+   the paper's recommended configuration;
+2. accuracy checks (residual, orthogonality);
+3. running the *same* factorization on the PULSAR virtual-systolic-array
+   runtime across simulated distributed-memory nodes, and confirming it is
+   bit-identical to the serial reference.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import qr_factor
+from repro.tiles import random_dense
+
+
+def main() -> None:
+    # A tall-and-skinny system: 960 equations, 96 unknowns.
+    m, n = 960, 96
+    a = random_dense(m, n, seed=0)
+
+    # --- 1. Factor with the hierarchical tree (binary-on-flat, h=4) -------
+    f = qr_factor(a, nb=32, ib=8, tree="hier", h=4)
+    r = f.R
+    print(f"factored {m} x {n} with tree={f.tree.value!r}, backend={f.backend!r}")
+    print(f"R is {r.shape[0]} x {r.shape[1]} upper triangular")
+
+    # --- 2. Accuracy -------------------------------------------------------
+    metrics = f.residuals(a)
+    print(f"||A - QR|| / ||A||   = {metrics['factorization']:.2e}")
+    print(f"||Q^T Q - I||        = {metrics['orthogonality']:.2e}")
+    assert metrics["factorization"] < 1e-13
+
+    # Apply Q without ever forming it (the implicit Householder form).
+    y = f.qt_matmul(a[:, 0])
+    print(f"(Q^T a_0)[:5]        = {np.round(y[:5], 6)}")
+
+    # --- 3. The same factorization on the PULSAR runtime -------------------
+    # 2 simulated distributed-memory nodes x 2 worker threads, lazy firing.
+    f_vsa = qr_factor(
+        a, nb=32, ib=8, tree="hier", h=4,
+        backend="pulsar", n_nodes=2, workers_per_node=2,
+    )
+    print(
+        f"pulsar run: {f_vsa.stats.firings} VDP firings, "
+        f"{f_vsa.stats.messages_sent} inter-node messages, "
+        f"{f_vsa.stats.bytes_sent / 1024:.0f} KiB moved"
+    )
+    bit_identical = np.array_equal(f.R, f_vsa.R)
+    print(f"serial and systolic R factors bit-identical: {bit_identical}")
+    assert bit_identical
+
+
+if __name__ == "__main__":
+    main()

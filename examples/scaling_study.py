@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's scaling figures (scaled down) in one script.
+
+Runs the discrete-event simulation of the 3D virtual systolic array on the
+Kraken machine model and prints:
+
+* Figure 10 — asymptotic scaling over the row count for flat / binary /
+  hierarchical trees;
+* Figure 11 — strong scaling over the core count;
+* the Section VI-A comparison against the ScaLAPACK and PaRSEC models.
+
+By default everything is shrunk 8x from the paper's sizes so the script
+finishes in about a minute on a laptop; pass ``--scale 1`` for paper-size
+runs (several minutes of simulation).
+
+Run:  python examples/scaling_study.py [--scale 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import (
+    PAPER,
+    run_figure10,
+    run_figure11,
+    run_section6a_strong,
+    scaled,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=8, help="shrink factor (1 = paper size)")
+    args = parser.parse_args()
+    cfg = PAPER if args.scale == 1 else scaled(args.scale)
+
+    print(f"configuration: {cfg.name}  (nb={cfg.nb}, ib={cfg.ib}, h={cfg.h}, n={cfg.n})")
+    print(f"machine: {cfg.machine.name}, {cfg.machine.cores_per_node} cores/node, "
+          f"{cfg.machine.core_peak_gflops} Gflop/s/core peak\n")
+
+    fig10 = run_figure10(cfg)
+    print(fig10.to_text())
+    hier = fig10.column("hier_gflops")
+    flat = fig10.column("flat_gflops")
+    print(f"--> hierarchical beats flat by {hier[-1] / flat[-1]:.1f}x at the largest size\n")
+
+    fig11 = run_figure11(cfg)
+    print(fig11.to_text())
+    print()
+
+    sec6a = run_section6a_strong(cfg)
+    print(sec6a.to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+#!/bin/bash
+# Sequential full-scale experiment driver; one output file per artefact.
+cd /root/repo
+for exp in fig10 fig11 sec6a tuning sched fig7 mapping memory; do
+  nice -n 10 python -u -m repro.experiments "$exp" --scale 1 --csv-dir results/csv \
+    > "results/full_${exp}.txt" 2>&1
+done
+nice -n 10 python -u -m repro.experiments weak --scale 2 --csv-dir results/csv \
+  > results/full_weak_scale2.txt 2>&1
+echo done > results/full_ALL_DONE

@@ -1,0 +1,44 @@
+"""repro: tree-based tile QR on a 3D virtual systolic array (IPDPS 2014).
+
+Reproduction of Yamazaki, Kurzak, Luszczek, Dongarra, "Design and
+Implementation of a Large Scale Tree-Based QR Decomposition Using a 3D
+Virtual Systolic Array and a Lightweight Runtime", IPDPS 2014.
+
+Subpackages
+-----------
+util        shared errors / RNG / validation / formatting
+tiles       tile-major matrix storage and generators
+kernels     the six tile QR kernels (GEQRT/ORMQR/TSQRT/TSMQR/TTQRT/TTMQR)
+trees       reduction trees and per-panel elimination schedules
+pulsar      the PULSAR runtime reimplementation (VDP/channel/VSA + threads)
+netsim      simulated-MPI message fabric used by the runtime
+machine     machine models (Cray XT5 "Kraken" preset)
+dessim      discrete-event simulator producing the paper's timings
+qr          VSA builders, reference executor, and the high-level QR API
+baselines   ScaLAPACK- and PaRSEC-style comparison models
+experiments drivers regenerating every figure/table of the evaluation
+
+The three most common entry points are re-exported at top level::
+
+    from repro import qr_factor, lstsq, QRFactorization
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+__version__ = "1.0.0"
+
+__all__ = ["qr_factor", "lstsq", "QRFactorization", "__version__"]
+
+if TYPE_CHECKING:  # pragma: no cover - import-time typing only
+    from .qr.api import QRFactorization, lstsq, qr_factor
+
+
+def __getattr__(name: str):
+    """Lazily resolve the public API to keep ``import repro`` lightweight."""
+    if name in ("qr_factor", "lstsq", "QRFactorization"):
+        from .qr import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

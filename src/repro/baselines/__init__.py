@@ -1,0 +1,16 @@
+"""Comparison baselines: block QR (real), ScaLAPACK and PaRSEC models."""
+
+from .block_qr import block_qr, block_qr_r
+from .parsec import DEFAULT_OVERHEAD_FACTOR, ParsecModel, parsec_qr_simulate
+from .scalapack import ScalapackEstimate, scalapack_qr_gflops, scalapack_qr_time
+
+__all__ = [
+    "block_qr",
+    "block_qr_r",
+    "ScalapackEstimate",
+    "scalapack_qr_time",
+    "scalapack_qr_gflops",
+    "ParsecModel",
+    "parsec_qr_simulate",
+    "DEFAULT_OVERHEAD_FACTOR",
+]

@@ -1,0 +1,98 @@
+"""PaRSEC-style generic-runtime model (paper Section VI-A baseline).
+
+The paper reports that the same hierarchical QR implemented on PaRSEC — a
+general task-superscalar DAG runtime — runs at least ~10% slower in strong
+scaling and 20%+ slower in weak scaling than the PULSAR VSA.  The two
+mechanisms the paper credits for PULSAR's edge, and which this model
+removes, are:
+
+* **packet by-pass**: PULSAR forwards a transformation down the broadcast
+  chain before applying it; a generic runtime re-sends each consumer its
+  own copy from the producer's node (``broadcast="direct"``), serialising
+  on the producer's NIC and paying full latency per consumer;
+* **near-zero scheduling overhead**: PULSAR's firing rule is a queue check,
+  while a dependence-tracking superscalar runtime pays hash-table lookups
+  and ready-list management per task (modelled as a multiplier on the
+  per-task overhead).
+
+Everything else — kernels, tree, mapping, machine — is identical, so the
+measured gap isolates the runtime, as in the paper's comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dessim.engine import SimResult, simulate
+from ..machine.model import MachineModel
+from ..qr.dag import build_qr_taskgraph
+from ..tiles.layout import TileLayout
+from ..trees.plan import PanelPlan
+from ..util.validation import check_positive
+
+__all__ = ["ParsecModel", "parsec_qr_simulate"]
+
+#: Default per-task scheduling-overhead multiplier vs PULSAR.
+DEFAULT_OVERHEAD_FACTOR = 8.0
+
+
+@dataclass(frozen=True)
+class ParsecModel:
+    """Knobs of the generic-runtime penalty.
+
+    ``task_dilation`` aggregates the per-task inefficiencies a generic
+    superscalar runtime adds at this granularity (dependence hashing, ready
+    -list management, cache pollution from runtime metadata);
+    ``comm_dilation`` models its weaker communication/computation overlap
+    (no by-pass, no dedicated proxy cycle).  The defaults are calibrated so
+    the strong-scaling gap lands near the >= 10% and the weak-scaling gap
+    near the >= 20% the paper reports from [5,7]; the *mechanisms* (which
+    knob moves which regime) are the ones the paper names, the constants
+    are fitted.
+    """
+
+    overhead_factor: float = DEFAULT_OVERHEAD_FACTOR
+    task_dilation: float = 1.09
+    comm_dilation: float = 3.0
+    broadcast: str = "direct"
+
+    def __post_init__(self) -> None:
+        check_positive(self.overhead_factor, "overhead_factor")
+        check_positive(self.task_dilation, "task_dilation")
+        check_positive(self.comm_dilation, "comm_dilation")
+
+
+def parsec_qr_simulate(
+    layout: TileLayout,
+    plans: list[PanelPlan],
+    machine: MachineModel,
+    cores: int,
+    ib: int,
+    *,
+    model: ParsecModel | None = None,
+    policy: str = "lazy",
+) -> tuple[SimResult, float]:
+    """Simulate the hierarchical QR under the PaRSEC model.
+
+    Returns ``(sim_result, gflops)`` for direct comparison against the
+    PULSAR (chain-broadcast) simulation of the same configuration.
+    """
+    model = model or ParsecModel()
+    slowed = machine.with_overrides(
+        kernel_efficiency={
+            k: v / model.task_dilation for k, v in machine.kernel_efficiency.items()
+        },
+        latency_s=machine.latency_s * model.comm_dilation,
+        bandwidth_bps=machine.bandwidth_bps / model.comm_dilation,
+        message_overhead_s=machine.message_overhead_s * model.comm_dilation,
+    )
+    qtg = build_qr_taskgraph(
+        layout, plans, slowed, cores, ib, broadcast=model.broadcast
+    )
+    res = simulate(
+        qtg.graph,
+        n_workers=qtg.n_workers,
+        policy=policy,
+        task_overhead_s=machine.task_overhead_s * model.overhead_factor,
+    )
+    return res, res.gflops(qtg.useful_flops)

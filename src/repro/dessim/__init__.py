@@ -1,0 +1,32 @@
+"""Discrete-event simulation backend: task graphs, engine, trace analysis."""
+
+from .engine import SimResult, simulate
+from .graph import TaskGraph, TaskGraphBuilder
+from .vsasim import VirtualRunResult, simulate_vsa
+from .trace import (
+    KIND_BINARY,
+    KIND_PANEL,
+    KIND_SYMBOLS,
+    KIND_UPDATE,
+    gantt,
+    lanes_from_trace,
+    overlap_fraction,
+    trace_to_csv,
+)
+
+__all__ = [
+    "TaskGraph",
+    "TaskGraphBuilder",
+    "SimResult",
+    "simulate",
+    "VirtualRunResult",
+    "simulate_vsa",
+    "KIND_PANEL",
+    "KIND_UPDATE",
+    "KIND_BINARY",
+    "KIND_SYMBOLS",
+    "lanes_from_trace",
+    "overlap_fraction",
+    "gantt",
+    "trace_to_csv",
+]

@@ -1,0 +1,47 @@
+"""Experiment drivers regenerating every figure/table of the evaluation.
+
+Each ``run_*`` function returns an :class:`ExperimentResult` whose text
+rendering mirrors the corresponding paper artefact.  The CLI
+(``python -m repro.experiments <name>``) wraps them; the benchmark suite in
+``benchmarks/`` calls the same functions so the harness and the CLI can
+never drift apart.
+"""
+
+from .crossover import find_crossover, run_crossover
+from .figure7 import run_figure7, trace_gantt
+from .mapping_ablation import LAUNCH_CONFIGS, run_mapping_ablation
+from .memory_limits import run_memory_limits
+from .figure10 import run_figure10, simulate_tree_qr
+from .figure11 import run_figure11
+from .presets import PAPER, ExperimentConfig, active_config, full_scale_requested, scaled
+from .report import ExperimentResult
+from .scheduling import run_scheduling
+from .section6a import run_section6a_strong, run_section6a_weak
+from .tuning import best_configuration, run_tuning
+from .weak import memory_per_node, run_weak_scaling
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentConfig",
+    "PAPER",
+    "scaled",
+    "active_config",
+    "full_scale_requested",
+    "simulate_tree_qr",
+    "run_figure10",
+    "run_figure11",
+    "run_figure7",
+    "trace_gantt",
+    "run_section6a_strong",
+    "run_section6a_weak",
+    "run_tuning",
+    "best_configuration",
+    "run_scheduling",
+    "run_weak_scaling",
+    "memory_per_node",
+    "run_memory_limits",
+    "run_mapping_ablation",
+    "LAUNCH_CONFIGS",
+    "find_crossover",
+    "run_crossover",
+]

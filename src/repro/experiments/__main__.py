@@ -1,0 +1,136 @@
+"""Command-line driver: ``python -m repro.experiments <experiment> [...]``.
+
+Examples
+--------
+Regenerate a scaled-down Figure 10 (fast)::
+
+    python -m repro.experiments fig10 --scale 8
+
+Paper-size Figure 11 (minutes of simulation)::
+
+    python -m repro.experiments fig11 --scale 1
+
+Everything, CSVs written next to the text report::
+
+    python -m repro.experiments all --scale 8 --csv-dir results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from . import (
+    PAPER,
+    run_crossover,
+    run_mapping_ablation,
+    run_memory_limits,
+    run_figure7,
+    run_figure10,
+    run_figure11,
+    run_scheduling,
+    run_section6a_strong,
+    run_section6a_weak,
+    run_tuning,
+    run_weak_scaling,
+    scaled,
+    trace_gantt,
+)
+
+_EXPERIMENTS = {
+    "fig10": lambda cfg: [run_figure10(cfg)],
+    "fig11": lambda cfg: [run_figure11(cfg)],
+    "fig7": lambda cfg: [run_figure7(cfg)],
+    "sec6a": lambda cfg: [run_section6a_strong(cfg), run_section6a_weak(cfg)],
+    "tuning": lambda cfg: [run_tuning(cfg)],
+    "sched": lambda cfg: [run_scheduling(cfg)],
+    "weak": lambda cfg: [run_weak_scaling(cfg)],
+    "memory": lambda cfg: [run_memory_limits(cfg)],
+    "mapping": lambda cfg: [run_mapping_ablation(cfg)],
+    "crossover": lambda cfg: [run_crossover(cfg)],
+}
+_EXPERIMENTS["all"] = lambda cfg: [r for k in (
+    "fig10", "fig11", "fig7", "sec6a", "tuning", "sched", "weak", "memory", "mapping", "crossover"
+) for r in _EXPERIMENTS[k](cfg)]
+
+
+def _slug(name: str) -> str:
+    return "".join(c if c.isalnum() else "_" for c in name)[:60]
+
+
+def _auto_chart(res):
+    """Render gflops-vs-size/cores results as SVG; None for table-only."""
+    from .svgplot import chart_from_result
+
+    y_cols = {h: h.replace("_gflops", "") for h in res.headers if h.endswith("_gflops")}
+    if not y_cols:
+        return None
+    for x_col, x_label, log_x in (
+        ("m", "Number of rows (m)", True),
+        ("cores", "Number of cores", True),
+    ):
+        if x_col in res.headers:
+            try:
+                return chart_from_result(
+                    res, x_column=x_col, y_columns=y_cols, x_label=x_label, log_x=log_x
+                )
+            except (TypeError, ValueError):
+                return None
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument("experiment", choices=sorted(_EXPERIMENTS), help="which artefact")
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=8,
+        help="shrink factor vs the paper's sizes (1 = full scale; default 8)",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        type=pathlib.Path,
+        default=None,
+        help="also write each result as CSV into this directory",
+    )
+    parser.add_argument(
+        "--svg-dir",
+        type=pathlib.Path,
+        default=None,
+        help="render Figure 10/11-style SVG charts into this directory",
+    )
+    parser.add_argument(
+        "--gantt",
+        action="store_true",
+        help="with fig7: also print the ASCII execution traces",
+    )
+    args = parser.parse_args(argv)
+    cfg = PAPER if args.scale == 1 else scaled(args.scale)
+    results = _EXPERIMENTS[args.experiment](cfg)
+    for res in results:
+        print(res.to_text())
+        print()
+        if args.csv_dir is not None:
+            args.csv_dir.mkdir(parents=True, exist_ok=True)
+            slug = _slug(res.name)
+            (args.csv_dir / f"{slug}.csv").write_text(res.to_csv())
+        if args.svg_dir is not None:
+            chart = _auto_chart(res)
+            if chart is not None:
+                args.svg_dir.mkdir(parents=True, exist_ok=True)
+                chart.save(args.svg_dir / f"{_slug(res.name)}.svg")
+    if args.experiment == "fig7" and args.gantt:
+        for shifted in (False, True):
+            print(f"--- trace ({'shifted' if shifted else 'fixed'} boundaries) ---")
+            print(trace_gantt(cfg, shifted=shifted))
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Experiment E12 — tree crossover analysis (extension).
+
+Figure 10 shows the tree ranking *changing* with the matrix shape: at
+small row counts the flat tree's cheap, local kernels win; as the panel
+grows, first the hierarchical and then the binary tree overtake it.  This
+experiment locates those crossover points explicitly — the quantity a
+library would use to auto-select a tree — by bisecting the row count at
+which two trees' simulated rates cross.
+"""
+
+from __future__ import annotations
+
+from .figure10 import simulate_tree_qr
+from .presets import ExperimentConfig, PAPER
+from .report import ExperimentResult
+
+__all__ = ["find_crossover", "run_crossover"]
+
+
+def _rate(tree: str, m: int, cfg: ExperimentConfig, cores: int) -> float:
+    res, qtg = simulate_tree_qr(m, cfg.n, cores, tree, cfg)
+    return res.gflops(qtg.useful_flops)
+
+
+def find_crossover(
+    tree_a: str,
+    tree_b: str,
+    cfg: ExperimentConfig,
+    *,
+    cores: int | None = None,
+    m_lo: int | None = None,
+    m_hi: int | None = None,
+    tol_tiles: int = 4,
+) -> int | None:
+    """Smallest ``m`` (to ``tol_tiles`` tile rows) where ``tree_b`` beats
+    ``tree_a``; ``None`` if it never does within ``[m_lo, m_hi]``.
+
+    Assumes the advantage of ``tree_b`` grows with ``m`` (true for the
+    scalable trees vs flat), so a bisection is valid.
+    """
+    cores = cores or cfg.fig10_cores
+    m_lo = m_lo or cfg.fig10_m[0]
+    m_hi = m_hi or cfg.fig10_m[-1]
+    nb = cfg.nb
+
+    def b_wins(m: int) -> bool:
+        return _rate(tree_b, m, cfg, cores) > _rate(tree_a, m, cfg, cores)
+
+    lo, hi = m_lo // nb, m_hi // nb
+    if b_wins(lo * nb):
+        return lo * nb
+    if not b_wins(hi * nb):
+        return None
+    while hi - lo > tol_tiles:
+        mid = (lo + hi) // 2
+        if b_wins(mid * nb):
+            hi = mid
+        else:
+            lo = mid
+    return hi * nb
+
+
+def run_crossover(cfg: ExperimentConfig = PAPER, *, cores: int | None = None) -> ExperimentResult:
+    """Crossover table for the scalable trees against the flat baseline."""
+    cores = cores or cfg.fig10_cores
+    result = ExperimentResult(
+        name=f"Tree crossovers vs flat (n={cfg.n}, {cores} cores, {cfg.name})",
+        headers=["challenger", "crossover_m", "crossover_tiles"],
+    )
+    for tree in ("hier", "binary"):
+        m_x = find_crossover("flat", tree, cfg, cores=cores)
+        if m_x is None:
+            result.add_row(tree, "never", "-")
+        else:
+            result.add_row(tree, m_x, m_x // cfg.nb)
+    rows = {r[0]: r[1] for r in result.rows}
+    if all(isinstance(v, int) for v in rows.values()):
+        result.add_note(
+            "the hierarchical tree overtakes flat "
+            f"{'before' if rows['hier'] <= rows['binary'] else 'after'} the binary "
+            "tree does — the locality/parallelism balance of Figure 10"
+        )
+    return result

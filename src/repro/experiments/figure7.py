@@ -1,0 +1,82 @@
+"""Experiment E3 — paper Figures 6/7: domain-boundary strategies.
+
+With *fixed* domain boundaries, the next panel's first flat-tree reduction
+cannot start until the binary reduction returns the domain's top tile, so
+flat and binary phases barely overlap; *shifting* the boundary by one tile
+per panel makes the previous top tile the *last* member of the next
+domain, releasing the rest of the domain early and pipelining the phases.
+
+The paper shows this as execution traces (Figure 7); here we reproduce the
+traces on the DES, quantify the flat/binary overlap fraction, and report
+the makespan advantage of shifting.
+"""
+
+from __future__ import annotations
+
+from ..dessim.trace import KIND_BINARY, KIND_PANEL, KIND_UPDATE, gantt, overlap_fraction
+from .figure10 import simulate_tree_qr
+from .presets import ExperimentConfig, scaled
+from .report import ExperimentResult
+
+__all__ = ["run_figure7", "trace_gantt"]
+
+
+def _default_cfg() -> ExperimentConfig:
+    # Traces are a qualitative, small-scale experiment in the paper too;
+    # a modest matrix keeps the trace readable.
+    return scaled(16)
+
+
+def run_figure7(cfg: ExperimentConfig | None = None, *, m: int | None = None) -> ExperimentResult:
+    """Compare fixed vs shifted domain boundaries on the hierarchical tree."""
+    cfg = cfg or _default_cfg()
+    m = m or cfg.fig10_m[1]
+    result = ExperimentResult(
+        name=f"Figure 7: domain-boundary pipelining (hier, m={m}, n={cfg.n}, {cfg.name})",
+        headers=[
+            "boundary",
+            "makespan_s",
+            "gflops",
+            "flat_binary_overlap",
+            "update_binary_overlap",
+        ],
+    )
+    for label, shifted in (("fixed", False), ("shifted", True)):
+        res, qtg = simulate_tree_qr(
+            m, cfg.n, cfg.fig10_cores, "hier", cfg, shifted=shifted, record_trace=True
+        )
+        assert res.trace is not None
+        result.add_row(
+            label,
+            round(res.makespan, 4),
+            round(res.gflops(qtg.useful_flops), 1),
+            round(overlap_fraction(res.trace, KIND_PANEL, KIND_BINARY), 3),
+            round(overlap_fraction(res.trace, KIND_UPDATE, KIND_BINARY), 3),
+        )
+    fixed_t, shifted_t = (row[1] for row in result.rows)
+    result.add_note(
+        f"shifting the boundary changes the makespan by {fixed_t / shifted_t:.2f}x; the "
+        "paper's Figure 7 shows the same effect as greater red/blue trace overlap"
+    )
+    return result
+
+
+def trace_gantt(
+    cfg: ExperimentConfig | None = None,
+    *,
+    m: int | None = None,
+    shifted: bool = True,
+    workers_shown: int = 24,
+    width: int = 100,
+) -> str:
+    """An ASCII rendition of Figure 7's trace (F=panel, U=update, B=binary)."""
+    cfg = cfg or _default_cfg()
+    m = m or cfg.fig10_m[0]
+    res, _ = simulate_tree_qr(
+        m, cfg.n, cfg.fig10_cores, "hier", cfg, shifted=shifted, record_trace=True
+    )
+    assert res.trace is not None
+    used = sorted({w for w, *_ in res.trace})[:workers_shown]
+    remap = {w: i for i, w in enumerate(used)}
+    sub = [(remap[w], s, e, k, meta) for (w, s, e, k, meta) in res.trace if w in remap]
+    return gantt(sub, len(used), width=width)

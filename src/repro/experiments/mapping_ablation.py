@@ -1,0 +1,82 @@
+"""Experiment E9 — launch-configuration ablation (paper Section IV-B).
+
+"In our experiment, we ran PRT with one MPI process on each distributed
+memory compute node ... However, other mappings are possible, such as
+having one MPI process on each socket of a node or launching multiple
+threads on each core (i.e., oversubscribing)."
+
+The paper names the alternatives without evaluating them; this extension
+prices all three on the machine model:
+
+* ``per-node`` — one rank per 12-core node, one proxy thread (the paper's
+  configuration: 11 workers / node);
+* ``per-socket`` — one rank per 6-core socket: twice the proxies (10
+  workers per 12 cores) and twice the rank boundaries that messages cross;
+* ``oversubscribed`` — one worker on all 12 cores with the proxy time-
+  sharing; all threads pay a context-switching dilation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .figure10 import simulate_tree_qr
+from .presets import ExperimentConfig, PAPER
+from .report import ExperimentResult
+
+__all__ = ["run_mapping_ablation", "LAUNCH_CONFIGS"]
+
+#: Oversubscription cost: every thread loses this factor to context
+#: switching and cache pollution from the co-scheduled proxy.
+OVERSUBSCRIPTION_DILATION = 1.12
+
+
+def _variants(cfg: ExperimentConfig) -> dict[str, ExperimentConfig]:
+    per_socket = cfg.machine.with_overrides(
+        name=cfg.machine.name + "-socket",
+        cores_per_node=cfg.machine.cores_per_node // 2,
+    )
+    oversub = cfg.machine.with_overrides(
+        name=cfg.machine.name + "-oversub",
+        proxy_per_node=0,
+        kernel_efficiency={
+            k: v / OVERSUBSCRIPTION_DILATION
+            for k, v in cfg.machine.kernel_efficiency.items()
+        },
+        task_overhead_s=cfg.machine.task_overhead_s * 2.0,
+    )
+    return {
+        "per-node": cfg,
+        "per-socket": replace(cfg, machine=per_socket),
+        "oversubscribed": replace(cfg, machine=oversub),
+    }
+
+
+LAUNCH_CONFIGS = ("per-node", "per-socket", "oversubscribed")
+
+
+def run_mapping_ablation(
+    cfg: ExperimentConfig = PAPER, *, m: int | None = None, cores: int | None = None
+) -> ExperimentResult:
+    """Hierarchical tree QR under the three launch configurations."""
+    m = m or cfg.fig11_m
+    cores = cores or cfg.fig11_cores[2]
+    result = ExperimentResult(
+        name=f"Launch-mapping ablation (hier, m={m}, n={cfg.n}, {cores} cores, {cfg.name})",
+        headers=["launch", "workers", "gflops", "utilization"],
+    )
+    for label, variant in _variants(cfg).items():
+        res, qtg = simulate_tree_qr(m, cfg.n, cores, "hier", variant)
+        result.add_row(
+            label,
+            qtg.n_workers,
+            round(res.gflops(qtg.useful_flops), 1),
+            round(res.utilization, 3),
+        )
+    by = {row[0]: row[2] for row in result.rows}
+    result.add_note(
+        "the paper's per-node launch keeps the most cores computing "
+        f"(per-node/per-socket = {by['per-node'] / by['per-socket']:.3f}, "
+        f"per-node/oversubscribed = {by['per-node'] / by['oversubscribed']:.3f})"
+    )
+    return result

@@ -1,0 +1,56 @@
+"""Experiment E8 — Section II's memory-exhaustion observation.
+
+"We discovered that in a strong scaling study, it is possible to exhaust
+the available local memory, which then precludes runs with data sets
+exceeding the offending problem size.  Simply put, weak scaling allows the
+user to partition the data as well as the computation."
+
+This experiment quantifies that: for each allocation, the per-node
+footprint of the Figure 11 matrix and the largest feasible row count; then
+the weak-scaling footprint, which stays constant by construction.
+"""
+
+from __future__ import annotations
+
+from ..machine.memory import MemoryModel, max_rows_strong_scaling, qr_node_memory
+from ..tiles.layout import TileLayout
+from ..util.formatting import format_bytes
+from .presets import ExperimentConfig, PAPER
+from .report import ExperimentResult
+
+__all__ = ["run_memory_limits"]
+
+
+def run_memory_limits(
+    cfg: ExperimentConfig = PAPER, *, mem: MemoryModel | None = None
+) -> ExperimentResult:
+    """Feasible problem sizes across the Figure 11 allocations."""
+    mem = mem or MemoryModel()
+    m_target = cfg.fig11_m * 8  # a data-growth scenario beyond Figure 11
+    result = ExperimentResult(
+        name=f"Memory limits (n={cfg.n}, nb={cfg.nb}, "
+        f"{format_bytes(mem.node_bytes)}/node, {cfg.name})",
+        headers=["cores", "nodes", "mem/node@fig11_m", "max_m", "fits_8x_data"],
+    )
+    for cores in cfg.fig11_cores:
+        nodes = cfg.machine.nodes_for_cores(cores)
+        layout = TileLayout(cfg.fig11_m, cfg.n, cfg.nb)
+        bd = qr_node_memory(layout, cores, cfg.machine, cfg.ib, h=cfg.h, mem=mem)
+        max_m = max_rows_strong_scaling(
+            cfg.n, cfg.nb, cfg.ib, cores, cfg.machine, h=cfg.h, mem=mem
+        )
+        result.add_row(
+            cores,
+            nodes,
+            format_bytes(bd.total),
+            max_m,
+            "yes" if max_m >= m_target else "no",
+        )
+    small = max_rows_strong_scaling(cfg.n, cfg.nb, cfg.ib, cfg.fig11_cores[0], cfg.machine, h=cfg.h, mem=mem)
+    large = max_rows_strong_scaling(cfg.n, cfg.nb, cfg.ib, cfg.fig11_cores[-1], cfg.machine, h=cfg.h, mem=mem)
+    result.add_note(
+        f"feasible problem size grows {large / small:.1f}x from the smallest to the "
+        "largest allocation: strong scaling caps the data size (Section II), weak "
+        "scaling lifts the cap by growing machine and data together"
+    )
+    return result

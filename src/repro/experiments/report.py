@@ -1,0 +1,49 @@
+"""Experiment result containers and rendering."""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+from ..util.formatting import format_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """A table of results plus free-form notes (one per figure/table).
+
+    The benchmark harness prints ``to_text()`` so regenerated tables read
+    like the paper's; ``to_csv()`` feeds external plotting.
+    """
+
+    name: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def to_text(self) -> str:
+        out = [f"== {self.name} =="]
+        out.append(format_table(self.headers, self.rows))
+        for n in self.notes:
+            out.append(f"note: {n}")
+        return "\n".join(out)
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        buf.write(",".join(self.headers) + "\n")
+        for row in self.rows:
+            buf.write(",".join(str(v) for v in row) + "\n")
+        return buf.getvalue()
+
+    def column(self, header: str) -> list:
+        """Extract one column by header name."""
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]

@@ -1,0 +1,206 @@
+"""Dependency-free SVG line charts for the regenerated figures.
+
+matplotlib is not a dependency of this library; the two performance
+figures are simple multi-series line charts, so a small hand-rolled SVG
+writer reproduces them faithfully (linear or log-x axes, markers, legend).
+Used by ``python -m repro.experiments ... --svg-dir`` and the trace
+example.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..util.validation import check_positive_int, require
+
+__all__ = ["Series", "LineChart", "chart_from_result"]
+
+_PALETTE = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"]
+_MARKERS = ["circle", "square", "diamond"]
+
+
+@dataclass
+class Series:
+    """One plotted line."""
+
+    label: str
+    x: list[float]
+    y: list[float]
+
+    def __post_init__(self) -> None:
+        require(len(self.x) == len(self.y), "series x and y lengths differ")
+        require(len(self.x) >= 1, "series must have at least one point")
+
+
+@dataclass
+class LineChart:
+    """A minimal line chart resembling the paper's figures."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    width: int = 760
+    height: int = 480
+    log_x: bool = False
+
+    def add(self, label: str, x: list[float], y: list[float]) -> None:
+        self.series.append(Series(label, list(map(float, x)), list(map(float, y))))
+
+    # -- rendering -----------------------------------------------------------
+
+    def to_svg(self) -> str:
+        check_positive_int(self.width, "width")
+        check_positive_int(self.height, "height")
+        require(self.series, "chart has no series")
+        ml, mr, mt, mb = 80, 30, 50, 60
+        pw, ph = self.width - ml - mr, self.height - mt - mb
+
+        xs = [v for s in self.series for v in s.x]
+        ys = [v for s in self.series for v in s.y]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = 0.0, max(ys) * 1.08
+        if self.log_x:
+            require(x_lo > 0, "log-x axis requires positive x values")
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+
+        def px(x: float) -> float:
+            if self.log_x:
+                frac = (math.log10(x) - math.log10(x_lo)) / (
+                    math.log10(x_hi) - math.log10(x_lo)
+                )
+            else:
+                frac = (x - x_lo) / (x_hi - x_lo)
+            return ml + frac * pw
+
+        def py(y: float) -> float:
+            return mt + ph - (y - y_lo) / (y_hi - y_lo) * ph
+
+        out = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+            f'<text x="{self.width / 2}" y="24" text-anchor="middle" '
+            f'font-size="16" font-family="sans-serif">{_esc(self.title)}</text>',
+        ]
+        # Axes, gridlines, ticks.
+        out.append(
+            f'<rect x="{ml}" y="{mt}" width="{pw}" height="{ph}" fill="none" '
+            'stroke="#444" stroke-width="1"/>'
+        )
+        for i in range(6):
+            yv = y_lo + (y_hi - y_lo) * i / 5
+            yy = py(yv)
+            out.append(
+                f'<line x1="{ml}" y1="{yy:.1f}" x2="{ml + pw}" y2="{yy:.1f}" '
+                'stroke="#ddd" stroke-width="0.5"/>'
+            )
+            out.append(
+                f'<text x="{ml - 8}" y="{yy + 4:.1f}" text-anchor="end" '
+                f'font-size="11" font-family="sans-serif">{_fmt(yv)}</text>'
+            )
+        for xv in _x_ticks(x_lo, x_hi, self.log_x):
+            xx = px(xv)
+            out.append(
+                f'<line x1="{xx:.1f}" y1="{mt + ph}" x2="{xx:.1f}" y2="{mt + ph + 5}" '
+                'stroke="#444" stroke-width="1"/>'
+            )
+            out.append(
+                f'<text x="{xx:.1f}" y="{mt + ph + 20}" text-anchor="middle" '
+                f'font-size="11" font-family="sans-serif">{_fmt(xv)}</text>'
+            )
+        out.append(
+            f'<text x="{ml + pw / 2}" y="{self.height - 14}" text-anchor="middle" '
+            f'font-size="13" font-family="sans-serif">{_esc(self.x_label)}</text>'
+        )
+        out.append(
+            f'<text x="20" y="{mt + ph / 2}" text-anchor="middle" font-size="13" '
+            f'font-family="sans-serif" transform="rotate(-90 20 {mt + ph / 2})">'
+            f"{_esc(self.y_label)}</text>"
+        )
+        # Series.
+        for idx, s in enumerate(self.series):
+            color = _PALETTE[idx % len(_PALETTE)]
+            pts = " ".join(f"{px(x):.1f},{py(y):.1f}" for x, y in zip(s.x, s.y))
+            out.append(
+                f'<polyline points="{pts}" fill="none" stroke="{color}" stroke-width="2"/>'
+            )
+            for x, y in zip(s.x, s.y):
+                out.append(_marker(idx, px(x), py(y), color))
+            ly = mt + 16 + 18 * idx
+            out.append(
+                f'<line x1="{ml + 12}" y1="{ly - 4}" x2="{ml + 40}" y2="{ly - 4}" '
+                f'stroke="{color}" stroke-width="2"/>'
+            )
+            out.append(
+                f'<text x="{ml + 46}" y="{ly}" font-size="12" '
+                f'font-family="sans-serif">{_esc(s.label)}</text>'
+            )
+        out.append("</svg>")
+        return "\n".join(out)
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_svg())
+
+
+def chart_from_result(
+    result,
+    *,
+    x_column: str,
+    y_columns: dict[str, str],
+    x_label: str,
+    y_label: str = "Gflop/s",
+    log_x: bool = False,
+) -> LineChart:
+    """Build a chart from an :class:`~repro.experiments.ExperimentResult`.
+
+    ``y_columns`` maps result headers to display labels, e.g.
+    ``{"hier_gflops": "Hierarchical"}``.
+    """
+    chart = LineChart(
+        title=result.name, x_label=x_label, y_label=y_label, log_x=log_x
+    )
+    x = [float(v) for v in result.column(x_column)]
+    for header, label in y_columns.items():
+        chart.add(label, x, [float(v) for v in result.column(header)])
+    return chart
+
+
+def _x_ticks(lo: float, hi: float, log_x: bool) -> list[float]:
+    if log_x:
+        lo_e = math.floor(math.log10(lo))
+        hi_e = math.ceil(math.log10(hi))
+        ticks = [10.0**e for e in range(lo_e, hi_e + 1) if lo <= 10.0**e <= hi]
+        return ticks or [lo, hi]
+    return [lo + (hi - lo) * i / 5 for i in range(6)]
+
+
+def _fmt(v: float) -> str:
+    if abs(v) >= 1e6:
+        return f"{v / 1e6:g}M"
+    if abs(v) >= 1e3:
+        return f"{v / 1e3:g}K"
+    return f"{v:g}"
+
+
+def _marker(idx: int, x: float, y: float, color: str) -> str:
+    kind = _MARKERS[idx % len(_MARKERS)]
+    if kind == "circle":
+        return f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3.5" fill="{color}"/>'
+    if kind == "square":
+        return (
+            f'<rect x="{x - 3:.1f}" y="{y - 3:.1f}" width="6" height="6" fill="{color}"/>'
+        )
+    return (
+        f'<path d="M {x:.1f} {y - 4.5:.1f} L {x + 4.5:.1f} {y:.1f} '
+        f'L {x:.1f} {y + 4.5:.1f} L {x - 4.5:.1f} {y:.1f} Z" fill="{color}"/>'
+    )
+
+
+def _esc(s: str) -> str:
+    return s.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")

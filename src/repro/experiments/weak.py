@@ -1,0 +1,65 @@
+"""Experiment E7 — weak scaling (Section II's motivation).
+
+The paper motivates weak scaling explicitly: growing data-point counts in
+least-squares models, and the discovery that strong-scaling runs can
+exhaust node memory.  This experiment grows the row count with the core
+count (fixed rows per core), reports per-tree Gflop/s, and accounts for
+the per-node memory footprint that makes weak scaling necessary.
+"""
+
+from __future__ import annotations
+
+from ..util.formatting import format_bytes
+from .figure10 import simulate_tree_qr
+from .presets import ExperimentConfig, PAPER
+from .report import ExperimentResult
+
+__all__ = ["run_weak_scaling", "memory_per_node"]
+
+
+def memory_per_node(m: int, n: int, cores: int, cfg: ExperimentConfig) -> float:
+    """Matrix bytes resident per node (tiles distributed evenly).
+
+    The factorization is in-place, so the dominant footprint is the tile
+    data itself plus the ``T`` factors (ib/nb of a tile per tile).
+    """
+    nodes = cfg.machine.nodes_for_cores(cores)
+    tiles_bytes = m * n * 8 * (1.0 + cfg.ib / cfg.nb)
+    return tiles_bytes / nodes
+
+
+def run_weak_scaling(
+    cfg: ExperimentConfig = PAPER, *, rows_per_core: int | None = None
+) -> ExperimentResult:
+    """Fixed rows/core sweep across the Figure 11 core counts."""
+    if rows_per_core is None:
+        rows_per_core = max(1, cfg.fig11_m // cfg.fig11_cores[2])
+    result = ExperimentResult(
+        name=f"Weak scaling (~{rows_per_core} rows/core, n={cfg.n}, {cfg.name})",
+        headers=[
+            "cores",
+            "m",
+            "mem/node",
+            *[f"{t}_gflops" for t in cfg.trees],
+            "hier_gflops_per_core",
+        ],
+    )
+    for cores in cfg.fig11_cores:
+        m = max(cfg.n, (rows_per_core * cores) // cfg.nb * cfg.nb)
+        row: list = [cores, m, format_bytes(memory_per_node(m, cfg.n, cores, cfg))]
+        hier_g = 0.0
+        for tree in cfg.trees:
+            res, qtg = simulate_tree_qr(m, cfg.n, cores, tree, cfg)
+            g = res.gflops(qtg.useful_flops)
+            if tree == "hier":
+                hier_g = g
+            row.append(round(g, 1))
+        row.append(round(hier_g / cores, 3))
+        result.add_row(*row)
+    hpc = result.column("hier_gflops_per_core")
+    if hpc and hpc[0] > 0:
+        result.add_note(
+            f"hierarchical weak-scaling efficiency (per-core rate, largest/smallest): "
+            f"{hpc[-1] / hpc[0]:.2f}"
+        )
+    return result

@@ -1,0 +1,48 @@
+"""Tile QR computational kernels (paper Section V-B) and flop counts.
+
+The six kernels mirror PLASMA's core BLAS set:
+
+======== =============================================================
+GEQRT    QR of a tile; R in the upper triangle, reflectors below.
+ORMQR    Apply a GEQRT transformation to a trailing tile.
+TSQRT    Incremental QR of [triangular R; square tile].
+TSMQR    Apply a TSQRT transformation to a pair of trailing tiles.
+TTQRT    Incremental QR of [triangular R; triangular R] (binary tree).
+TTMQR    Apply a TTQRT transformation to a pair of trailing tiles.
+======== =============================================================
+"""
+
+from .flops import (
+    geqrt_flops,
+    kernel_flops,
+    ormqr_flops,
+    qr_useful_flops,
+    tile_qr_total_flops,
+    tsmqr_flops,
+    tsqrt_flops,
+    ttmqr_flops,
+    ttqrt_flops,
+)
+from .geqrt import geqrt, ormqr
+from .householder import larfg, larft_column
+from .tsqrt import tsmqr, tsqrt, ttmqr, ttqrt
+
+__all__ = [
+    "larfg",
+    "larft_column",
+    "geqrt",
+    "ormqr",
+    "tsqrt",
+    "tsmqr",
+    "ttqrt",
+    "ttmqr",
+    "geqrt_flops",
+    "ormqr_flops",
+    "tsqrt_flops",
+    "tsmqr_flops",
+    "ttqrt_flops",
+    "ttmqr_flops",
+    "kernel_flops",
+    "qr_useful_flops",
+    "tile_qr_total_flops",
+]

@@ -1,0 +1,121 @@
+"""Floating-point operation counts for the tile kernels.
+
+Two distinct counts matter:
+
+* ``*_flops`` — the *optimised-kernel* counts (what a tuned BLAS/LAPACK
+  implementation performs, exploiting triangular structure).  These drive the
+  machine model in :mod:`repro.machine` and hence the simulated timings.
+* :func:`qr_useful_flops` — the standard QR operation count
+  ``2 n^2 (m - n/3)`` used as the numerator of every reported Gflop/s figure
+  (as in the paper), so trees that perform *extra* work show a lower rate.
+
+All formulas keep the ``ib``-dependent lower-order terms of the compact-WY
+accumulation because at ``nb = 192`` they are a few percent of the total and
+shift the flat/binary crossover visibly.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "geqrt_flops",
+    "ormqr_flops",
+    "tsqrt_flops",
+    "tsmqr_flops",
+    "ttqrt_flops",
+    "ttmqr_flops",
+    "kernel_flops",
+    "qr_useful_flops",
+    "tile_qr_total_flops",
+]
+
+
+def geqrt_flops(m: int, n: int, ib: int) -> float:
+    """QR of an ``m x n`` tile: ``2 n^2 (m - n/3)`` plus ``T`` construction."""
+    k = min(m, n)
+    qr = 2.0 * k * k * (m - k / 3.0)
+    t_build = ib * k * m  # larft recurrence, one triangular solve per column
+    return qr + t_build
+
+
+def ormqr_flops(m: int, k: int, q: int, ib: int) -> float:
+    """Apply ``k`` reflectors of length ``m`` to ``q`` columns: ``~2 m k q``.
+
+    Each reflector costs ``4 (m - j) q``; summed this is ``2 k q (2m - k)/2``
+    simplified to the trapezoid-aware count below, plus the small triangular
+    ``T`` multiply per block.
+    """
+    apply = 2.0 * k * q * (2.0 * m - k)  # sum_j 4 (m - j) q
+    t_mult = ib * k * q
+    return apply + t_mult
+
+
+def tsqrt_flops(k: int, m2: int, ib: int) -> float:
+    """Triangle-on-square QR of ``[R(kxk); A2(m2xk)]``.
+
+    Reflector ``j`` has ``m2`` explicit entries; updating each of the
+    remaining in-panel columns costs ``4 m2``; summed over the ``k^2/2``
+    (column, trailing-column) pairs this is ``2 k^2 m2``, plus ``T``.
+    """
+    return 2.0 * k * k * m2 + ib * k * m2
+
+
+def tsmqr_flops(k: int, m2: int, q: int, ib: int) -> float:
+    """Apply a TS transformation to ``q`` trailing columns: ``~4 k m2 q``."""
+    return 4.0 * k * m2 * q + ib * k * q
+
+
+def ttqrt_flops(k: int, ib: int) -> float:
+    """Triangle-on-triangle QR: reflector ``j`` has ``j+1`` entries.
+
+    ``sum_j 4 (j+1) (k - j) ~= (2/3) k^3``, plus the ``T`` recurrence.
+    """
+    return (2.0 / 3.0) * k**3 + ib * k * k / 2.0
+
+
+def ttmqr_flops(k: int, q: int, ib: int) -> float:
+    """Apply a TT transformation: ``sum_j 4 (j+1) q ~= 2 k^2 q``."""
+    return 2.0 * k * k * q + ib * k * q
+
+
+#: Dispatch table keyed by the kernel names used in schedules and traces.
+_KERNEL_TABLE = {
+    "GEQRT": lambda m, n, q, ib: geqrt_flops(m, n, ib),
+    "ORMQR": lambda m, n, q, ib: ormqr_flops(m, min(m, n), q, ib),
+    "TSQRT": lambda m, n, q, ib: tsqrt_flops(n, m, ib),
+    "TSMQR": lambda m, n, q, ib: tsmqr_flops(n, m, q, ib),
+    "TTQRT": lambda m, n, q, ib: ttqrt_flops(n, ib),
+    "TTMQR": lambda m, n, q, ib: ttmqr_flops(n, q, ib),
+}
+
+
+def kernel_flops(kind: str, m: int, n: int, q: int, ib: int) -> float:
+    """Flop count for kernel ``kind``.
+
+    Conventions: ``(m, n)`` is the shape of the (second, for TS/TT) input
+    tile and ``q`` the trailing-update width (ignored for factor kernels).
+    """
+    try:
+        fn = _KERNEL_TABLE[kind]
+    except KeyError as exc:  # pragma: no cover - defensive
+        raise KeyError(f"unknown kernel kind {kind!r}") from exc
+    return fn(m, n, q, ib)
+
+
+def qr_useful_flops(m: int, n: int) -> float:
+    """The standard Householder-QR count ``2 n^2 (m - n/3)``.
+
+    This is the numerator of every Gflop/s number in the paper's figures.
+    """
+    return 2.0 * float(n) * float(n) * (float(m) - float(n) / 3.0)
+
+
+def tile_qr_total_flops(ops: list, nb: int, ib: int) -> float:
+    """Total *performed* flops of an operation list (see :mod:`repro.qr.ops`).
+
+    Used to quantify the extra work a reduction tree introduces relative to
+    :func:`qr_useful_flops`.
+    """
+    total = 0.0
+    for op in ops:
+        total += kernel_flops(op.kind, op.m2, op.k, op.q, ib)
+    return total

@@ -1,0 +1,243 @@
+"""``TSQRT``/``TTQRT``: incremental QR of two stacked tiles.
+
+``tsqrt`` factors ``[R; A2]`` where ``R`` (``k x k``) is the already
+upper-triangular pivot tile and ``A2`` is a full tile (the paper's
+``dtsqrt(A(i,j), A(k,j))``); ``ttqrt`` is the triangle-on-triangle variant
+used by the binary-tree reduction (``dttqrt``), where ``A2`` is itself upper
+triangular.
+
+The reflector for column ``j`` has the structure ``[e_j; v2_j]``: the top
+part is the ``j``-th unit vector, so only the bottom part ``v2_j`` (stored in
+``A2``) is explicit.  For ``ttqrt`` the triangular zero pattern of ``A2`` is
+preserved automatically: ``v2_j`` has zeros below row ``j``, so updates never
+introduce fill — the numerics of ``ttqrt`` are exactly those of ``tsqrt`` on
+triangular input (the real libraries specialise it only to skip the zeros;
+our cost model accounts for the cheaper flop count separately).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util.errors import ShapeError
+from ..util.validation import check_positive_int
+from .householder import larfg
+
+__all__ = ["tsqrt", "ttqrt", "tsmqr", "ttmqr"]
+
+
+def tsqrt(r: np.ndarray, a2: np.ndarray, ib: int) -> np.ndarray:
+    """Factor ``[r; a2]`` in place; return the ``T`` factor.
+
+    Parameters
+    ----------
+    r:
+        ``(k, k)`` upper-triangular pivot block; its triangle is updated to
+        the new ``R`` factor (entries below the diagonal are ignored and left
+        untouched, as they belong to previously computed reflectors).
+    a2:
+        ``(m2, k)`` tile, overwritten with the bottom parts ``V2`` of the
+        reflectors.
+    ib:
+        Inner block size.
+
+    Returns
+    -------
+    t:
+        ``(ib, k)`` compact-WY factors, one triangular block per ``ib``
+        columns (layout as in :func:`repro.kernels.geqrt.geqrt`).
+    """
+    check_positive_int(ib, "ib")
+    if r.ndim != 2 or r.shape[0] != r.shape[1]:
+        raise ShapeError(f"tsqrt: r must be square, got {r.shape}")
+    k = r.shape[1]
+    if a2.ndim != 2 or a2.shape[1] != k:
+        raise ShapeError(f"tsqrt: a2 must have {k} columns, got {a2.shape}")
+    m2 = a2.shape[0]
+    t = np.zeros((ib, k))
+    for k0 in range(0, k, ib):
+        kb = min(ib, k - k0)
+        t_blk = np.zeros((kb, kb))
+        taus = np.zeros(kb)
+        for jj in range(kb):
+            j = k0 + jj
+            x = np.empty(m2 + 1)
+            x[0] = r[j, j]
+            x[1:] = a2[:, j]
+            beta, v2, tau = larfg(x)
+            r[j, j] = beta
+            a2[:, j] = v2
+            taus[jj] = tau
+            if tau != 0.0 and jj + 1 < kb:
+                # Update the remaining columns of the inner block:
+                # w = r[j, l] + v2^T a2[:, l];  r[j, l] -= tau*w;
+                # a2[:, l] -= tau * v2 * w.
+                cols = slice(j + 1, k0 + kb)
+                w = r[j, cols] + v2 @ a2[:, cols]
+                r[j, cols] -= tau * w
+                a2[:, cols] -= np.outer(tau * v2, w)
+            # T recurrence: the top e_j parts of the reflectors are mutually
+            # orthogonal, so only the V2 parts contribute.
+            if jj > 0:
+                wvec = a2[:, k0 : k0 + jj].T @ v2
+                t_blk[:jj, jj] = -tau * (t_blk[:jj, :jj] @ wvec)
+            t_blk[jj, jj] = tau
+        t[:kb, k0 : k0 + kb] = t_blk
+        if k0 + kb < k:
+            # Apply the block reflector (transposed) to the trailing columns
+            # of [r; a2]:  with Vtilde = [E_blk; V2]:
+            #   W  = T^T (C1[k0:k0+kb, :] + V2^T C2)
+            #   C1[k0:k0+kb, :] -= W ;  C2 -= V2 W
+            v2 = a2[:, k0 : k0 + kb]
+            cols = slice(k0 + kb, k)
+            c1 = r[k0 : k0 + kb, cols]
+            c2 = a2[:, cols]
+            w = t_blk.T @ (c1 + v2.T @ c2)
+            c1 -= w
+            c2 -= v2 @ w
+    return t
+
+
+def ttqrt(r1: np.ndarray, r2: np.ndarray, ib: int) -> np.ndarray:
+    """Triangle-on-triangle factorization ``[r1; r2]`` (paper ``dttqrt``).
+
+    ``r1`` is ``(k, k)`` upper triangular and ``r2`` is ``(m2, k)`` upper
+    trapezoidal (``m2 <= k``; smaller only for a ragged last tile row);
+    ``r1``'s triangle receives the combined ``R`` and ``r2``'s upper
+    trapezoid the reflector parts ``V2``.
+
+    Structure awareness is essential, not an optimisation: in tile QR the
+    *strictly lower* storage of both arguments holds reflectors from earlier
+    GEQRT/TS steps, so this kernel reads and writes only the upper
+    trapezoids (reflector ``j`` has ``min(j+1, m2)`` explicit entries).
+    """
+    check_positive_int(ib, "ib")
+    if r1.ndim != 2 or r1.shape[0] != r1.shape[1]:
+        raise ShapeError(f"ttqrt: r1 must be square, got {r1.shape}")
+    k = r1.shape[1]
+    if r2.ndim != 2 or r2.shape[1] != k or r2.shape[0] > k:
+        raise ShapeError(f"ttqrt: incompatible shapes, {r1.shape} vs {r2.shape}")
+    m2 = r2.shape[0]
+    t = np.zeros((ib, k))
+    for k0 in range(0, k, ib):
+        kb = min(ib, k - k0)
+        hi = min(k0 + kb, m2)  # valid V2 rows within this block
+        t_blk = np.zeros((kb, kb))
+        # Clean, zero-padded copy of the block's V2 columns; the in-tile
+        # storage below each column's diagonal belongs to other reflectors.
+        vblk = np.zeros((hi, kb))
+        for jj in range(kb):
+            j = k0 + jj
+            d = min(j + 1, m2)  # explicit reflector length in r2
+            x = np.empty(d + 1)
+            x[0] = r1[j, j]
+            x[1:] = r2[:d, j]
+            beta, v2, tau = larfg(x)
+            r1[j, j] = beta
+            r2[:d, j] = v2
+            vblk[:d, jj] = v2
+            if tau != 0.0 and jj + 1 < kb:
+                cols = slice(j + 1, k0 + kb)
+                w = r1[j, cols] + v2 @ r2[:d, cols]
+                r1[j, cols] -= tau * w
+                r2[:d, cols] -= np.outer(tau * v2, w)
+            if jj > 0:
+                wvec = vblk[:d, :jj].T @ v2
+                t_blk[:jj, jj] = -tau * (t_blk[:jj, :jj] @ wvec)
+            t_blk[jj, jj] = tau
+        t[:kb, k0 : k0 + kb] = t_blk
+        if k0 + kb < k:
+            cols = slice(k0 + kb, k)
+            c1 = r1[k0 : k0 + kb, cols]
+            c2 = r2[:hi, cols]
+            w = t_blk.T @ (c1 + vblk.T @ c2)
+            c1 -= w
+            c2 -= vblk @ w
+    return t
+
+
+def tsmqr(
+    v2: np.ndarray,
+    t: np.ndarray,
+    c1: np.ndarray,
+    c2: np.ndarray,
+    trans: bool = True,
+) -> None:
+    """Apply a ``tsqrt`` transformation to the stacked tiles ``[c1; c2]``.
+
+    Corresponds to ``dtsmqr(A(i,j), A(k,j), A(i,l), A(k,l))``: the
+    transformation computed from panel column ``j`` updates the two trailing
+    tiles in column ``l``.  ``c1`` and ``c2`` are modified in place; ``trans``
+    selects ``Q^T`` (factorization update) vs ``Q`` (used to rebuild ``Q``).
+
+    Parameters
+    ----------
+    v2:
+        ``(m2, k)`` reflector bottoms from :func:`tsqrt`.
+    t:
+        ``(ib, k)`` factor from :func:`tsqrt`.
+    c1:
+        Pivot-row tile, at least ``k`` rows.
+    c2:
+        ``(m2, q)`` second tile.
+    """
+    m2, k = v2.shape
+    ib = t.shape[0]
+    if c1.shape[0] < k:
+        raise ShapeError(f"tsmqr: c1 needs >= {k} rows, got {c1.shape[0]}")
+    if c2.shape[0] != m2 or c1.shape[1] != c2.shape[1]:
+        raise ShapeError(
+            f"tsmqr: c2 shape {c2.shape} incompatible with v2 {v2.shape} / c1 {c1.shape}"
+        )
+    starts = list(range(0, k, ib))
+    if not trans:
+        starts.reverse()
+    for k0 in starts:
+        kb = min(ib, k - k0)
+        t_blk = t[:kb, k0 : k0 + kb]
+        tt = t_blk.T if trans else t_blk
+        v = v2[:, k0 : k0 + kb]
+        c1_blk = c1[k0 : k0 + kb, :]
+        w = tt @ (c1_blk + v.T @ c2)
+        c1_blk -= w
+        c2 -= v @ w
+
+
+def ttmqr(
+    v2: np.ndarray,
+    t: np.ndarray,
+    c1: np.ndarray,
+    c2: np.ndarray,
+    trans: bool = True,
+) -> None:
+    """Apply a ``ttqrt`` transformation (paper ``dttmqr``).
+
+    ``v2`` is the tile slice whose *upper trapezoid* holds the TT reflector
+    bottoms written by :func:`ttqrt`; as there, the strictly lower storage
+    belongs to other reflectors and is masked out rather than read.  ``c1``
+    (pivot row tile, >= k rows) and ``c2`` (``m2`` rows) are updated in
+    place; ``trans`` selects ``Q^T`` vs ``Q``.
+    """
+    m2, k = v2.shape
+    ib = t.shape[0]
+    if c1.shape[0] < k:
+        raise ShapeError(f"ttmqr: c1 needs >= {k} rows, got {c1.shape[0]}")
+    if c2.shape[0] != m2 or c1.shape[1] != c2.shape[1]:
+        raise ShapeError(
+            f"ttmqr: c2 shape {c2.shape} incompatible with v2 {v2.shape} / c1 {c1.shape}"
+        )
+    starts = list(range(0, k, ib))
+    if not trans:
+        starts.reverse()
+    for k0 in starts:
+        kb = min(ib, k - k0)
+        hi = min(k0 + kb, m2)
+        t_blk = t[:kb, k0 : k0 + kb]
+        tt = t_blk.T if trans else t_blk
+        # Element (r, jj) of the block is a valid V2 entry iff r <= k0 + jj.
+        v = np.triu(v2[:hi, k0 : k0 + kb], -k0)
+        c1_blk = c1[k0 : k0 + kb, :]
+        c2_hi = c2[:hi, :]
+        w = tt @ (c1_blk + v.T @ c2_hi)
+        c1_blk -= w
+        c2_hi -= v @ w

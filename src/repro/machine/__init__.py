@@ -1,0 +1,14 @@
+"""Machine performance models (Cray XT5 "Kraken" preset and variants)."""
+
+from .memory import MemoryBreakdown, MemoryModel, max_rows_strong_scaling, qr_node_memory
+from .model import MachineModel, generic_cluster, kraken
+
+__all__ = [
+    "MachineModel",
+    "kraken",
+    "generic_cluster",
+    "MemoryModel",
+    "MemoryBreakdown",
+    "qr_node_memory",
+    "max_rows_strong_scaling",
+]

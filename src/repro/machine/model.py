@@ -1,0 +1,140 @@
+"""Machine performance models.
+
+The discrete-event simulator charges each kernel invocation and each message
+against a :class:`MachineModel`.  The Kraken preset reflects the paper's
+platform (Section VI): Cray XT5, two 2.6 GHz six-core AMD Opteron
+(Istanbul) per node — 10.4 Gflop/s peak per core (4 flops/cycle) — SeaStar2+
+interconnect, one MPI process per node with one thread per core, one of
+which is the communication proxy.
+
+Per-kernel efficiencies encode the paper's observations: the large GEMM-like
+update kernels (TSMQR/ORMQR) run near DGEMM speed at ``nb = 192``; the panel
+kernels are memory-bound and slower; the triangle-on-triangle kernels
+(TTQRT/TTMQR) are the "special kernels which may not be optimized on this
+computer" (Section VI) and run at a small fraction of peak.  The absolute
+values were calibrated once against Figure 10's hierarchical curve and then
+frozen; all experiments use the same numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..kernels.flops import kernel_flops
+from ..util.validation import check_positive, check_positive_int, require
+
+__all__ = ["MachineModel", "kraken", "generic_cluster"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Timing model for a cluster of multicore nodes.
+
+    Attributes
+    ----------
+    cores_per_node:
+        Physical cores per node (each runs one thread).
+    proxy_per_node:
+        Threads per node dedicated to communication (not computing).
+    core_peak_gflops:
+        Per-core double-precision peak.
+    kernel_efficiency:
+        Fraction of peak each kernel kind achieves.
+    latency_s:
+        End-to-end small-message latency between two nodes.
+    bandwidth_bps:
+        Effective point-to-point bandwidth (bytes/s).
+    task_overhead_s:
+        Runtime cost per VDP firing (scheduling, dependency checks).
+    message_overhead_s:
+        Proxy handling cost per message on each side.
+    forward_overhead_s:
+        Cost of a by-pass relay hop (packet forwarded before compute;
+        charged to the wire, not the worker).
+    """
+
+    name: str
+    cores_per_node: int = 12
+    proxy_per_node: int = 1
+    core_peak_gflops: float = 10.4
+    kernel_efficiency: dict = field(
+        default_factory=lambda: dict(
+            GEQRT=0.18, ORMQR=0.375, TSQRT=0.225, TSMQR=0.465, TTQRT=0.075, TTMQR=0.285
+        )
+    )
+    latency_s: float = 8.0e-6
+    bandwidth_bps: float = 6.0e9
+    task_overhead_s: float = 2.0e-6
+    message_overhead_s: float = 1.5e-6
+    forward_overhead_s: float = 0.7e-6
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.cores_per_node, "cores_per_node")
+        require(
+            0 <= self.proxy_per_node < self.cores_per_node,
+            "proxy_per_node must leave at least one worker core",
+        )
+        check_positive(self.core_peak_gflops, "core_peak_gflops")
+        for kind in ("GEQRT", "ORMQR", "TSQRT", "TSMQR", "TTQRT", "TTMQR"):
+            require(kind in self.kernel_efficiency, f"missing efficiency for {kind}")
+
+    # -- topology ------------------------------------------------------------
+
+    def nodes_for_cores(self, cores: int) -> int:
+        """Node count for an allocation of ``cores`` (must divide evenly)."""
+        check_positive_int(cores, "cores")
+        require(
+            cores % self.cores_per_node == 0,
+            f"cores ({cores}) must be a multiple of cores_per_node "
+            f"({self.cores_per_node})",
+        )
+        return cores // self.cores_per_node
+
+    def workers_for_cores(self, cores: int) -> int:
+        """Worker (compute) threads in an allocation of ``cores``.
+
+        One thread per core, minus the proxy thread(s) per node — the
+        paper's launch configuration.
+        """
+        return self.nodes_for_cores(cores) * self.workers_per_node
+
+    @property
+    def workers_per_node(self) -> int:
+        return self.cores_per_node - self.proxy_per_node
+
+    # -- costs ------------------------------------------------------------------
+
+    def kernel_seconds(self, kind: str, m2: int, k: int, q: int, ib: int) -> float:
+        """Execution time of one kernel invocation."""
+        flops = kernel_flops(kind, m2, k, q, ib)
+        rate = self.kernel_efficiency[kind] * self.core_peak_gflops * 1e9
+        return flops / rate
+
+    def wire_seconds(self, nbytes: int) -> float:
+        """Inter-node transfer time for one message of ``nbytes``."""
+        return self.latency_s + nbytes / self.bandwidth_bps + 2 * self.message_overhead_s
+
+    def with_overrides(self, **kw) -> "MachineModel":
+        """A copy with selected fields replaced (used by ablations)."""
+        return replace(self, **kw)
+
+
+def kraken() -> MachineModel:
+    """The Cray XT5 "Kraken" preset used throughout the evaluation."""
+    return MachineModel(name="kraken-xt5")
+
+
+def generic_cluster(
+    cores_per_node: int = 16,
+    core_peak_gflops: float = 20.0,
+    latency_s: float = 2.0e-6,
+    bandwidth_bps: float = 12.0e9,
+) -> MachineModel:
+    """A configurable modern-cluster preset for what-if studies."""
+    return MachineModel(
+        name="generic",
+        cores_per_node=cores_per_node,
+        core_peak_gflops=core_peak_gflops,
+        latency_s=latency_s,
+        bandwidth_bps=bandwidth_bps,
+    )

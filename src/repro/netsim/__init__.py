@@ -1,0 +1,5 @@
+"""Simulated-MPI fabric: the inter-node transport substitute (DESIGN.md)."""
+
+from .fabric import MAX_TAG, Fabric, Message, SendRequest, payload_nbytes
+
+__all__ = ["Fabric", "Message", "SendRequest", "MAX_TAG", "payload_nbytes"]

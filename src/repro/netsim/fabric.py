@@ -1,0 +1,229 @@
+"""In-process simulated-MPI message fabric.
+
+The PULSAR Runtime's proxy thread needs only six MPI calls (paper Section
+IV-B): ``MPI_Isend``, ``_Irecv``, ``_Test``, ``_Get_count``, ``_Barrier``,
+``_Cancel``.  :class:`Fabric` provides that surface for a set of *ranks*
+living inside one OS process:
+
+* non-blocking tagged point-to-point sends returning :class:`SendRequest`
+  handles that complete asynchronously;
+* per-``(source, destination, tag)`` FIFO ordering (the MPI guarantee the
+  channel-numbering scheme relies on);
+* payloads are deep-copied at send time, enforcing distributed-memory
+  semantics — a rank can never observe another rank's later mutations;
+* optional delivery jitter, which delays and interleaves deliveries across
+  (src, dst) pairs to shake out ordering assumptions in tests.
+
+This is the substitution for Cray MPICH2 (see DESIGN.md): the runtime above
+it is agnostic to whether messages cross a SeaStar2+ link or a queue.
+"""
+
+from __future__ import annotations
+
+import copy
+import heapq
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..util.errors import NetworkError, TagError
+from ..util.validation import check_nonnegative_int, check_positive_int
+
+__all__ = ["Message", "SendRequest", "Fabric", "MAX_TAG"]
+
+#: Minimum MPI-guaranteed tag upper bound the paper cites (16K "should be
+#: more than enough for the foreseeable future").
+MAX_TAG = 16 * 1024
+
+
+def _copy_payload(payload: object) -> object:
+    """Deep-copy a payload as a network transfer would.
+
+    NumPy arrays are copied buffer-wise; containers recursively.  This is
+    what makes rank isolation real inside one process.
+    """
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    if isinstance(payload, (list, tuple)):
+        out = [_copy_payload(p) for p in payload]
+        return tuple(out) if isinstance(payload, tuple) else out
+    if isinstance(payload, dict):
+        return {k: _copy_payload(v) for k, v in payload.items()}
+    return copy.deepcopy(payload)
+
+
+@dataclass(frozen=True)
+class Message:
+    """A delivered message as seen by the receiving proxy."""
+
+    source: int
+    tag: int
+    payload: object
+    nbytes: int
+
+
+@dataclass
+class SendRequest:
+    """Handle for a non-blocking send (``MPI_Isend`` analogue)."""
+
+    _done: threading.Event = field(default_factory=threading.Event)
+    cancelled: bool = False
+
+    def test(self) -> bool:
+        """Non-blocking completion check (``MPI_Test``)."""
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the send buffer may be reused."""
+        return self._done.wait(timeout)
+
+    def cancel(self) -> None:
+        """Best-effort cancel (``MPI_Cancel``); completed sends stay sent."""
+        if not self._done.is_set():
+            self.cancelled = True
+            self._done.set()
+
+
+class Fabric:
+    """A message fabric connecting ``n_ranks`` simulated nodes.
+
+    Parameters
+    ----------
+    n_ranks:
+        Number of ranks (one per simulated node).
+    jitter:
+        If positive, deliveries are shuffled in *delivery order across
+        different (src, dst) pairs* using a deterministic pseudo-random
+        delay in ``[0, jitter)`` "ticks"; ordering within one
+        ``(src, dst, tag)`` stream is always preserved.
+    seed:
+        Seed for the jitter stream.
+    max_tag:
+        Upper bound on accepted tags (defaults to the 16K the paper cites).
+    """
+
+    def __init__(
+        self,
+        n_ranks: int,
+        *,
+        jitter: float = 0.0,
+        seed: int | None = None,
+        max_tag: int = MAX_TAG,
+    ):
+        check_positive_int(n_ranks, "n_ranks")
+        self.n_ranks = n_ranks
+        self.max_tag = check_positive_int(max_tag, "max_tag")
+        self._lock = threading.Lock()
+        self._mailboxes: list[list[Message]] = [[] for _ in range(n_ranks)]
+        # Jitter state: a per-destination priority queue keyed by an
+        # artificial delivery time; within a (src, tag) stream times are
+        # non-decreasing so FIFO order survives.
+        self._jitter = float(jitter)
+        self._rng = np.random.default_rng(seed)
+        self._pending: list[list[tuple[float, int, Message]]] = [[] for _ in range(n_ranks)]
+        self._clock = itertools.count()
+        self._last_time: dict[tuple[int, int, int], float] = {}
+        self._shutdown = False
+        self.sent_messages = 0
+        self.sent_bytes = 0
+
+    # -- sending -----------------------------------------------------------
+
+    def isend(self, source: int, dest: int, tag: int, payload: object) -> SendRequest:
+        """Post a non-blocking send; the payload is copied immediately.
+
+        Returns a :class:`SendRequest` that is complete as soon as the copy
+        is taken (an eager-protocol MPI send); the message becomes visible
+        to the destination's :meth:`poll` atomically.
+        """
+        self._check_rank(source, "source")
+        self._check_rank(dest, "dest")
+        check_nonnegative_int(tag, "tag")
+        if tag >= self.max_tag:
+            raise TagError(f"tag {tag} exceeds the guaranteed MPI range [0, {self.max_tag})")
+        nbytes = payload_nbytes(payload)
+        msg = Message(source=source, tag=tag, payload=_copy_payload(payload), nbytes=nbytes)
+        req = SendRequest()
+        with self._lock:
+            if self._shutdown:
+                raise NetworkError("fabric has been shut down")
+            self.sent_messages += 1
+            self.sent_bytes += nbytes
+            if self._jitter > 0.0:
+                base = next(self._clock)
+                t = base + float(self._rng.uniform(0.0, self._jitter))
+                key = (source, dest, tag)
+                t = max(t, self._last_time.get(key, -1.0) + 1e-9)
+                self._last_time[key] = t
+                heapq.heappush(self._pending[dest], (t, base, msg))
+            else:
+                self._mailboxes[dest].append(msg)
+        req._done.set()
+        return req
+
+    # -- receiving ---------------------------------------------------------
+
+    def poll(self, rank: int) -> Message | None:
+        """Pop the next delivered message for ``rank`` (``Irecv``+``Test``).
+
+        Returns ``None`` when nothing is currently deliverable.  With jitter
+        enabled, pending messages "arrive" a few polls late, in shuffled
+        cross-stream order.
+        """
+        self._check_rank(rank, "rank")
+        with self._lock:
+            if self._jitter > 0.0 and self._pending[rank]:
+                now = next(self._clock)
+                while self._pending[rank] and self._pending[rank][0][0] <= now:
+                    self._mailboxes[rank].append(heapq.heappop(self._pending[rank])[2])
+            if self._mailboxes[rank]:
+                return self._mailboxes[rank].pop(0)
+            return None
+
+    def drain(self, rank: int) -> list[Message]:
+        """Pop everything currently deliverable for ``rank``."""
+        out = []
+        while (msg := self.poll(rank)) is not None:
+            out.append(msg)
+        return out
+
+    def pending_count(self, rank: int) -> int:
+        """Messages queued (delivered or in flight) for ``rank``."""
+        with self._lock:
+            return len(self._mailboxes[rank]) + len(self._pending[rank])
+
+    def quiescent(self) -> bool:
+        """True when no message is queued anywhere (used for termination)."""
+        with self._lock:
+            return all(not m for m in self._mailboxes) and all(not p for p in self._pending)
+
+    def flush_jitter(self) -> None:
+        """Force all jittered in-flight messages to become deliverable."""
+        with self._lock:
+            for rank in range(self.n_ranks):
+                while self._pending[rank]:
+                    self._mailboxes[rank].append(heapq.heappop(self._pending[rank])[2])
+
+    def shutdown(self) -> None:
+        """Refuse further sends (receives drain normally)."""
+        with self._lock:
+            self._shutdown = True
+
+    def _check_rank(self, rank: int, name: str) -> None:
+        if not isinstance(rank, (int, np.integer)) or not 0 <= rank < self.n_ranks:
+            raise NetworkError(f"{name} {rank!r} out of range [0, {self.n_ranks})")
+
+
+def payload_nbytes(payload: object) -> int:
+    """Approximate wire size of a payload (used for traffic accounting)."""
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (list, tuple)):
+        return sum(payload_nbytes(p) for p in payload)
+    if isinstance(payload, dict):
+        return sum(payload_nbytes(v) for v in payload.values())
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    return 64  # nominal envelope for scalars / small objects

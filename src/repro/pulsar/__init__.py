@@ -1,0 +1,39 @@
+"""PULSAR reimplementation: VDPs, channels, VSAs, and the threaded runtime.
+
+Programming model (paper Section IV-A)::
+
+    from repro.pulsar import VSA, VDP, Packet
+
+    def body(vdp):
+        pkt = vdp.read(0)            # pop input slot 0
+        vdp.write(0, pkt)            # by-pass / forward
+        ... compute ...
+        vdp.write(1, Packet.of(out)) # emit a new packet
+
+    vsa = VSA()
+    vsa.add_vdp(VDP((0,), counter=3, fnc=body, n_in=1, n_out=2))
+    ...
+    vsa.connect((0,), 1, (1,), 0, max_bytes=8 * 192 * 192)
+    stats = vsa.run(n_nodes=2, workers_per_node=2, policy="lazy")
+"""
+
+from .channel import Channel, ChannelState
+from .introspect import VSAStats, vsa_stats, vsa_to_dot
+from .packet import Packet
+from .runtime import PRT, PRTConfig, RunStats
+from .vdp import VDP
+from .vsa import VSA
+
+__all__ = [
+    "Packet",
+    "Channel",
+    "ChannelState",
+    "VDP",
+    "VSA",
+    "PRT",
+    "PRTConfig",
+    "RunStats",
+    "VSAStats",
+    "vsa_stats",
+    "vsa_to_dot",
+]

@@ -1,0 +1,133 @@
+"""Channels: static unidirectional FIFO connections between two VDPs.
+
+Mirrors the paper's channel semantics (Section IV-A):
+
+* a channel connects one source VDP slot to one destination VDP slot;
+* it is a FIFO queue of packets;
+* it can be *disabled at creation* and *enabled / disabled / destroyed
+  during execution* — the mechanism the 3D QR array uses to splice the
+  binary-tree output back into the next flat-tree reduction at the right
+  firing (Section V-C);
+* declared with a maximum packet size, which the runtime enforces (this is
+  what sizes communication buffers on a real machine).
+
+As in PULSAR's C API, a logical link may be described twice — once as an
+output channel inserted into the source VDP and once as an input channel
+inserted into the destination VDP (see the paper's Figure 9).  The runtime
+*fuses* the two descriptors at launch; :meth:`Channel.key` is the identity
+used for matching.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..util.errors import ChannelClosedError, ChannelDisabledError, ChannelError
+from ..util.validation import check_nonnegative_int, check_positive_int
+from .packet import Packet
+
+__all__ = ["Channel", "ChannelState"]
+
+
+class ChannelState:
+    """Channel lifecycle states."""
+
+    ENABLED = "enabled"
+    DISABLED = "disabled"
+    DESTROYED = "destroyed"
+
+
+@dataclass
+class Channel:
+    """A FIFO link ``src_tuple[src_slot] -> dst_tuple[dst_slot]``.
+
+    Only the runtime moves packets through remote channels; user code
+    interacts via the owning VDP's ``read``/``write``/``enable``/...
+    methods so that readiness notifications are never missed.
+    """
+
+    max_bytes: int
+    src_tuple: tuple
+    src_slot: int
+    dst_tuple: tuple
+    dst_slot: int
+    state: str = ChannelState.ENABLED
+    queue: deque = field(default_factory=deque)
+
+    # Runtime wiring (filled by the launcher, opaque to user code).
+    tag: int = -1
+    src_node: int = -1
+    dst_node: int = -1
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.max_bytes, "max_bytes")
+        check_nonnegative_int(self.src_slot, "src_slot")
+        check_nonnegative_int(self.dst_slot, "dst_slot")
+
+    # -- identity -----------------------------------------------------------
+
+    def key(self) -> tuple:
+        """Fusion identity: both descriptors of one link share this key."""
+        return (self.src_tuple, self.src_slot, self.dst_tuple, self.dst_slot)
+
+    @property
+    def is_remote(self) -> bool:
+        return self.src_node != self.dst_node
+
+    # -- state --------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self.state == ChannelState.ENABLED
+
+    def enable(self) -> None:
+        """Re-activate a disabled channel (queued packets become visible)."""
+        self._check_alive()
+        self.state = ChannelState.ENABLED
+
+    def disable(self) -> None:
+        """Deactivate: the destination VDP's firing rule ignores the channel
+        and pops are rejected until re-enabled; queued packets are kept."""
+        self._check_alive()
+        self.state = ChannelState.DISABLED
+
+    def destroy(self) -> None:
+        """Permanently close; any further push/pop raises."""
+        self.state = ChannelState.DESTROYED
+        self.queue.clear()
+
+    # -- queue operations (runtime holds the destination-node lock) ---------
+
+    def push(self, packet: Packet) -> None:
+        self._check_alive()
+        if packet.nbytes > self.max_bytes:
+            raise ChannelError(
+                f"packet of {packet.nbytes} B exceeds channel maximum "
+                f"{self.max_bytes} B on {self.describe()}"
+            )
+        self.queue.append(packet)
+
+    def pop(self) -> Packet:
+        self._check_alive()
+        if self.state == ChannelState.DISABLED:
+            raise ChannelDisabledError(f"pop from disabled channel {self.describe()}")
+        if not self.queue:
+            raise ChannelError(f"pop from empty channel {self.describe()}")
+        return self.queue.popleft()
+
+    def peek(self) -> Packet | None:
+        self._check_alive()
+        return self.queue[0] if self.queue else None
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    def describe(self) -> str:
+        return (
+            f"{self.src_tuple}[out {self.src_slot}] -> {self.dst_tuple}[in {self.dst_slot}]"
+        )
+
+    def _check_alive(self) -> None:
+        if self.state == ChannelState.DESTROYED:
+            raise ChannelClosedError(f"channel {self.describe()} is destroyed")

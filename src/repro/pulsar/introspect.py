@@ -1,0 +1,103 @@
+"""VSA introspection: structural statistics and Graphviz export.
+
+Debugging a systolic array is debugging its topology; this module renders
+any :class:`~repro.pulsar.VSA` as Graphviz DOT (VDPs as nodes labelled
+with their tuples and counters, channels as edges labelled with slots and
+state) and computes the structural summary the runtime needs for sizing —
+the "arbitrary sizes of many parameters that describe the virtual systolic
+system" Section II lists: message counts, queue counts, array dimensions,
+buffer sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.formatting import format_bytes
+from .vsa import VSA
+
+__all__ = ["VSAStats", "vsa_stats", "vsa_to_dot"]
+
+
+@dataclass(frozen=True)
+class VSAStats:
+    """Structural summary of an array."""
+
+    n_vdps: int
+    n_channels: int
+    total_firings: int
+    max_in_degree: int
+    max_out_degree: int
+    max_packet_bytes: int
+    total_buffer_bytes: int
+    disabled_channels: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.n_vdps} VDPs / {self.n_channels} channels, "
+            f"{self.total_firings} total firings, degree <= "
+            f"{self.max_in_degree} in / {self.max_out_degree} out, "
+            f"largest packet {format_bytes(self.max_packet_bytes)}, "
+            f"buffer bound {format_bytes(self.total_buffer_bytes)}, "
+            f"{self.disabled_channels} channels initially disabled"
+        )
+
+
+def _channels(vsa: VSA):
+    seen: dict[tuple, object] = {}
+    for vdp in vsa.vdps.values():
+        for ch in list(vdp.inputs) + list(vdp.outputs):
+            if ch is not None:
+                seen[ch.key()] = ch
+    return list(seen.values())
+
+
+def vsa_stats(vsa: VSA) -> VSAStats:
+    """Compute :class:`VSAStats` for a (built, not necessarily run) array."""
+    channels = _channels(vsa)
+    max_pkt = max((c.max_bytes for c in channels), default=0)
+    return VSAStats(
+        n_vdps=len(vsa.vdps),
+        n_channels=len(channels),
+        total_firings=sum(v.counter for v in vsa.vdps.values()),
+        max_in_degree=max(
+            (sum(1 for c in v.inputs if c is not None) for v in vsa.vdps.values()), default=0
+        ),
+        max_out_degree=max(
+            (sum(1 for c in v.outputs if c is not None) for v in vsa.vdps.values()), default=0
+        ),
+        max_packet_bytes=max_pkt,
+        total_buffer_bytes=sum(c.max_bytes for c in channels),
+        disabled_channels=sum(1 for c in channels if not c.enabled),
+    )
+
+
+def vsa_to_dot(vsa: VSA, *, name: str = "vsa", max_vdps: int = 500) -> str:
+    """Render the array as Graphviz DOT.
+
+    Arrays beyond ``max_vdps`` VDPs are truncated (a warning comment is
+    emitted) — DOT rendering of million-node graphs helps nobody.
+    """
+    lines = [f"digraph {name} {{", "  rankdir=LR;", '  node [shape=circle, fontsize=9];']
+    shown = set()
+    for idx, (tup, vdp) in enumerate(vsa.vdps.items()):
+        if idx >= max_vdps:
+            lines.append(f"  // ... truncated at {max_vdps} of {len(vsa.vdps)} VDPs")
+            break
+        shown.add(tup)
+        label = ",".join(map(str, tup))
+        lines.append(f'  "{label}" [label="({label})\\nx{vdp.counter}"];')
+    for ch in _channels(vsa):
+        if ch.src_tuple not in shown or ch.dst_tuple not in shown:
+            continue
+        src = ",".join(map(str, ch.src_tuple))
+        dst = ",".join(map(str, ch.dst_tuple))
+        style = "" if ch.enabled else ", style=dashed"
+        self_loop = ch.src_tuple == ch.dst_tuple
+        color = ', color="#999999"' if self_loop else ""
+        lines.append(
+            f'  "{src}" -> "{dst}" [label="{ch.src_slot}>{ch.dst_slot}", fontsize=8'
+            f"{style}{color}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Data packets exchanged between Virtual Data Processors.
+
+A packet wraps an arbitrary payload plus its wire size.  VDPs either pop
+packets from input channels, forward them (the *by-pass* idiom of paper
+Section IV-A), or create fresh ones — e.g. the Householder transformation
+packets of the QR decomposition (Section V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..netsim.fabric import payload_nbytes
+
+__all__ = ["Packet"]
+
+
+@dataclass
+class Packet:
+    """A unit of dataflow.
+
+    Attributes
+    ----------
+    data:
+        The payload (NumPy arrays, tuples of arrays, small metadata...).
+    nbytes:
+        Wire size; computed from the payload when not given.  Channels
+        enforce their declared maximum against this value.
+    label:
+        Optional debugging label shown in runtime diagnostics.
+    """
+
+    data: object
+    nbytes: int = field(default=-1)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            self.nbytes = payload_nbytes(self.data)
+
+    @classmethod
+    def of(cls, data: object, label: str = "") -> "Packet":
+        """Convenience constructor mirroring ``prt_packet_new``."""
+        return cls(data=data, label=label)

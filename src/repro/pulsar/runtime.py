@@ -1,0 +1,402 @@
+"""The PULSAR Runtime (PRT): threads + proxy mapping VSAs onto "nodes".
+
+Faithful to paper Section IV-B:
+
+* the VSA is executed by a collection of simulated distributed-memory
+  *nodes* (ranks on the :class:`~repro.netsim.Fabric`), each running worker
+  threads plus one *proxy* thread dedicated to inter-node communication;
+* workers continuously sweep their list of VDPs for a ready one; the *lazy*
+  policy fires a ready VDP once and moves on, the *aggressive* policy
+  refires while ready;
+* an intra-node channel is a plain FIFO under the node lock (zero-copy: the
+  packet object is aliased); an inter-node channel is fed by the proxy,
+  which cycles through isend / poll / test exactly like the paper's
+  six-MPI-call proxy;
+* packet routing uses consecutive per-``(src node, dst node)`` channel tags
+  combined with the sender rank on the receiving side;
+* the proxy serves communication until its queues are empty and its node's
+  VDPs are all destroyed.
+
+Real Python threads are used, so firing rules, queue synchronisation and
+termination are exercised genuinely; wall-clock *performance* at scale is
+instead measured by the discrete-event backend (:mod:`repro.dessim`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..netsim.fabric import Fabric, SendRequest
+from ..util.errors import DeadlockError, NetworkError, RuntimeStateError, TagError, VSAError
+from ..util.validation import check_positive_int, require
+from .channel import Channel
+from .packet import Packet
+from .vdp import VDP
+from .vsa import VSA
+
+__all__ = ["PRTConfig", "RunStats", "PRT"]
+
+#: Supported scheduling policies (paper Section IV-A).
+POLICIES = ("lazy", "aggressive")
+
+
+@dataclass(frozen=True)
+class PRTConfig:
+    """Runtime launch configuration."""
+
+    n_nodes: int = 1
+    workers_per_node: int = 1
+    policy: str = "lazy"
+    jitter: float = 0.0
+    seed: int | None = None
+    deadlock_timeout: float = 20.0
+    max_tag: int = 16 * 1024
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_nodes, "n_nodes")
+        check_positive_int(self.workers_per_node, "workers_per_node")
+        require(self.policy in POLICIES, f"policy must be one of {POLICIES}, got {self.policy!r}")
+
+    @property
+    def total_workers(self) -> int:
+        return self.n_nodes * self.workers_per_node
+
+
+@dataclass
+class RunStats:
+    """Aggregate statistics of one VSA execution."""
+
+    firings: int = 0
+    elapsed_s: float = 0.0
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    stray_messages: int = 0
+    per_worker_firings: dict[int, int] = field(default_factory=dict)
+    n_nodes: int = 1
+    workers_per_node: int = 1
+    policy: str = "lazy"
+
+
+class _NodeState:
+    """Per-node shared state: one lock/condition guards every queue."""
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self.cond = threading.Condition()
+        self.outgoing: deque[tuple[Channel, Packet]] = deque()
+        self.routing: dict[tuple[int, int], Channel] = {}
+        self.workers_alive = 0
+        self.has_remote = False
+
+
+class PRT:
+    """One launch of a VSA on the threaded runtime.
+
+    A :class:`PRT` instance is single-use: build it, call :meth:`run` once.
+    """
+
+    def __init__(self, vsa: VSA, cfg: PRTConfig, mapping: Callable[[tuple], int] | None = None):
+        self.vsa = vsa
+        self.cfg = cfg
+        self.mapping = mapping
+        self._abort = threading.Event()
+        self._errors: list[BaseException] = []
+        self._firings = 0
+        self._firings_lock = threading.Lock()
+        self._per_worker: dict[int, int] = {}
+        self._ran = False
+        self.nodes = [_NodeState(r) for r in range(cfg.n_nodes)]
+        self.fabric = Fabric(
+            cfg.n_nodes, jitter=cfg.jitter, seed=cfg.seed, max_tag=cfg.max_tag
+        )
+        self._vdp_node: dict[tuple, int] = {}
+        self._vdp_worker: dict[tuple, int] = {}
+        self._worker_vdps: dict[int, list[VDP]] = {w: [] for w in range(cfg.total_workers)}
+        self._build()
+
+    # -- build ----------------------------------------------------------------
+
+    def _build(self) -> None:
+        if not self.vsa.vdps:
+            raise VSAError("cannot run an empty VSA")
+        mapping = self.mapping
+        if mapping is None:
+            order = {t: i for i, t in enumerate(self.vsa.vdps)}
+            total = self.cfg.total_workers
+            mapping = lambda tup: order[tup] % total  # noqa: E731 - default cyclic map
+        for tup, vdp in self.vsa.vdps.items():
+            wid = mapping(tup)
+            if not 0 <= wid < self.cfg.total_workers:
+                raise VSAError(
+                    f"mapping({tup}) = {wid} outside [0, {self.cfg.total_workers})"
+                )
+            self._vdp_worker[tup] = wid
+            self._vdp_node[tup] = wid // self.cfg.workers_per_node
+            self._worker_vdps[wid].append(vdp)
+            vdp.params = self.vsa.params
+            vdp._runtime = self
+        channels = self.vsa.fuse_channels()
+        tag_counters: dict[tuple[int, int], int] = {}
+        for ch in channels:
+            ch.src_node = self._vdp_node[ch.src_tuple]
+            ch.dst_node = self._vdp_node[ch.dst_tuple]
+            if ch.is_remote:
+                pair = (ch.src_node, ch.dst_node)
+                tag = tag_counters.get(pair, 0)
+                tag_counters[pair] = tag + 1
+                if tag >= self.cfg.max_tag:
+                    raise TagError(
+                        f"node pair {pair} needs more than {self.cfg.max_tag} channels; "
+                        "the guaranteed MPI tag range is exhausted"
+                    )
+                ch.tag = tag
+                self.nodes[ch.dst_node].routing[(ch.src_node, tag)] = ch
+                self.nodes[ch.src_node].has_remote = True
+                self.nodes[ch.dst_node].has_remote = True
+
+    # -- channel operations (called from VDP methods during firings) -----------
+
+    def push(self, channel: Channel, packet: Packet) -> None:
+        """Route a packet: local channels go straight to the destination
+        queue; remote ones to the source node's outgoing proxy queue."""
+        if packet.nbytes > channel.max_bytes:
+            # Validate on the sending side, before any queueing.
+            channel.push(packet)  # raises ChannelError with a good message
+            return
+        if channel.is_remote:
+            src = self.nodes[channel.src_node]
+            with src.cond:
+                src.outgoing.append((channel, packet))
+                src.cond.notify_all()
+        else:
+            dst = self.nodes[channel.dst_node]
+            with dst.cond:
+                channel.push(packet)
+                dst.cond.notify_all()
+
+    def pop(self, channel: Channel) -> Packet:
+        dst = self.nodes[channel.dst_node]
+        with dst.cond:
+            return channel.pop()
+
+    def peek(self, channel: Channel) -> Packet | None:
+        dst = self.nodes[channel.dst_node]
+        with dst.cond:
+            return channel.peek()
+
+    def forward(self, in_channel: Channel, out_channel: Channel) -> Packet:
+        """By-pass: pop + immediate push of the same packet."""
+        pkt = self.pop(in_channel)
+        self.push(out_channel, pkt)
+        return pkt
+
+    def set_channel_state(self, channel: Channel, *, enabled: bool) -> None:
+        dst = self.nodes[channel.dst_node]
+        with dst.cond:
+            if enabled:
+                channel.enable()
+            else:
+                channel.disable()
+            dst.cond.notify_all()
+
+    def destroy_channel(self, channel: Channel) -> None:
+        dst = self.nodes[channel.dst_node]
+        with dst.cond:
+            channel.destroy()
+            dst.cond.notify_all()
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self) -> RunStats:
+        """Launch workers and proxies; block until completion.
+
+        Raises the first user exception observed in a VDP body, or
+        :class:`DeadlockError` if no firing happens for
+        ``cfg.deadlock_timeout`` seconds while VDPs remain.
+        """
+        if self._ran:
+            raise RuntimeStateError("a PRT instance can only run once")
+        self._ran = True
+        t0 = time.perf_counter()
+        threads: list[threading.Thread] = []
+        for wid in range(self.cfg.total_workers):
+            th = threading.Thread(
+                target=self._worker_loop, args=(wid,), name=f"prt-worker-{wid}", daemon=True
+            )
+            threads.append(th)
+        for node in self.nodes:
+            node.workers_alive = self.cfg.workers_per_node
+            if node.has_remote:
+                threads.append(
+                    threading.Thread(
+                        target=self._proxy_loop,
+                        args=(node,),
+                        name=f"prt-proxy-{node.rank}",
+                        daemon=True,
+                    )
+                )
+        for th in threads:
+            th.start()
+
+        last_progress = self._firings
+        last_change = time.perf_counter()
+        while any(th.is_alive() for th in threads):
+            for th in threads:
+                th.join(timeout=0.05)
+            now = time.perf_counter()
+            cur = self._firings
+            if cur != last_progress:
+                last_progress, last_change = cur, now
+            elif not self._abort.is_set() and now - last_change > self.cfg.deadlock_timeout:
+                self._abort.set()
+                for node in self.nodes:
+                    with node.cond:
+                        node.cond.notify_all()
+                for th in threads:
+                    th.join(timeout=2.0)
+                raise DeadlockError(self._deadlock_report())
+        if self._errors:
+            raise self._errors[0]
+
+        stray = 0
+        for node in self.nodes:
+            stray += self.fabric.pending_count(node.rank)
+        stats = RunStats(
+            firings=self._firings,
+            elapsed_s=time.perf_counter() - t0,
+            messages_sent=self.fabric.sent_messages,
+            bytes_sent=self.fabric.sent_bytes,
+            stray_messages=stray,
+            per_worker_firings=dict(self._per_worker),
+            n_nodes=self.cfg.n_nodes,
+            workers_per_node=self.cfg.workers_per_node,
+            policy=self.cfg.policy,
+        )
+        return stats
+
+    # -- worker -------------------------------------------------------------------
+
+    def _fire(self, vdp: VDP, wid: int) -> None:
+        try:
+            vdp.fnc(vdp)
+        except BaseException as exc:  # propagate user errors to run()
+            self._errors.append(exc)
+            self._abort.set()
+            for node in self.nodes:
+                with node.cond:
+                    node.cond.notify_all()
+            raise
+        vdp.firing_index += 1
+        vdp.counter -= 1
+        if vdp.counter <= 0:
+            vdp.destroyed = True
+        with self._firings_lock:
+            self._firings += 1
+            self._per_worker[wid] = self._per_worker.get(wid, 0) + 1
+
+    def _worker_loop(self, wid: int) -> None:
+        node = self.nodes[wid // self.cfg.workers_per_node]
+        alive = list(self._worker_vdps[wid])
+        aggressive = self.cfg.policy == "aggressive"
+        try:
+            while alive and not self._abort.is_set():
+                fired_any = False
+                for vdp in list(alive):
+                    while True:
+                        with node.cond:
+                            ready = vdp.ready()
+                        if not ready or self._abort.is_set():
+                            break
+                        self._fire(vdp, wid)
+                        fired_any = True
+                        if not aggressive:
+                            break
+                    if vdp.destroyed:
+                        alive.remove(vdp)
+                if not fired_any and alive and not self._abort.is_set():
+                    with node.cond:
+                        if not any(v.ready() for v in alive):
+                            node.cond.wait(timeout=0.01)
+        except BaseException:
+            pass  # recorded by _fire; terminate the thread quietly
+        finally:
+            with node.cond:
+                node.workers_alive -= 1
+                node.cond.notify_all()
+
+    # -- proxy ----------------------------------------------------------------------
+
+    def _proxy_loop(self, node: _NodeState) -> None:
+        """Serve communication until the queues drain and local VDPs die.
+
+        The body cycles through the same three operations the paper's proxy
+        spends its time in: isend (flush outgoing), irecv/test (poll the
+        fabric and route to channels), and completion tests on past sends.
+        """
+        pending: list[SendRequest] = []
+        while not self._abort.is_set():
+            progress = False
+            # Flush outgoing queues (MPI_Isend).
+            while True:
+                with node.cond:
+                    item = node.outgoing.popleft() if node.outgoing else None
+                if item is None:
+                    break
+                ch, pkt = item
+                pending.append(self.fabric.isend(node.rank, ch.dst_node, ch.tag, pkt.data))
+                progress = True
+            # Drain incoming messages (MPI_Irecv + MPI_Test) and route by
+            # (sender rank, tag).
+            while (msg := self.fabric.poll(node.rank)) is not None:
+                ch = node.routing.get((msg.source, msg.tag))
+                if ch is None:
+                    self._errors.append(
+                        NetworkError(
+                            f"node {node.rank}: no channel for message from "
+                            f"{msg.source} with tag {msg.tag}"
+                        )
+                    )
+                    self._abort.set()
+                    break
+                with node.cond:
+                    ch.queue.append(Packet(data=msg.payload, nbytes=msg.nbytes))
+                    node.cond.notify_all()
+                progress = True
+            pending = [r for r in pending if not r.test()]
+            with node.cond:
+                done = (
+                    node.workers_alive == 0
+                    and not node.outgoing
+                    and not pending
+                    and self.fabric.pending_count(node.rank) == 0
+                )
+            if done:
+                break
+            if not progress:
+                time.sleep(0.0005)
+
+    # -- diagnostics -------------------------------------------------------------------
+
+    def _deadlock_report(self) -> str:
+        lines = ["PULSAR runtime made no progress; remaining VDPs:"]
+        shown = 0
+        for wid, vdps in self._worker_vdps.items():
+            for vdp in vdps:
+                if vdp.destroyed:
+                    continue
+                if shown >= 20:
+                    lines.append("  ... (truncated)")
+                    return "\n".join(lines)
+                chans = []
+                for slot, ch in enumerate(vdp.inputs):
+                    if ch is not None:
+                        chans.append(f"in{slot}:{len(ch)}pkt/{ch.state}")
+                lines.append(
+                    f"  VDP{vdp.tuple} worker={wid} counter={vdp.counter} [{' '.join(chans)}]"
+                )
+                shown += 1
+        return "\n".join(lines)

@@ -1,0 +1,188 @@
+"""Virtual Data Processors — the PULSAR processing elements.
+
+A VDP (paper Figure 1) owns
+
+* a unique integer tuple identifying it,
+* a *counter* defining its life span (decremented per firing; the VDP is
+  destroyed at zero),
+* executable code (a Python callable receiving the VDP itself),
+* read-only global parameters (shared through the VSA),
+* a read/write persistent local store, and
+* slotted input and output channels.
+
+The runtime fires the VDP when every *enabled* input channel holds at least
+one packet.  During a firing the code may pop/push packets in any order —
+including the *by-pass* pattern: pop, immediately forward down an output
+channel, then compute, which is how the QR array overlaps the broadcast of
+Householder transformations with their application (Section V-C).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from ..util.errors import VDPError
+from ..util.validation import check_nonnegative_int, check_positive_int
+from .channel import Channel
+from .packet import Packet
+
+__all__ = ["VDP"]
+
+
+class VDP:
+    """One Virtual Data Processor.
+
+    Parameters
+    ----------
+    tup:
+        Unique identifier — a tuple of integers (``prt_tuple_new*``).
+    counter:
+        Number of firings before self-destruction.
+    fnc:
+        ``fnc(vdp)`` executed at each firing.
+    n_in, n_out:
+        Number of input/output channel slots.
+    store:
+        Initial persistent local variables (dict); kept across firings.
+    """
+
+    def __init__(
+        self,
+        tup: tuple,
+        counter: int,
+        fnc: Callable[["VDP"], None],
+        *,
+        n_in: int = 0,
+        n_out: int = 0,
+        store: dict | None = None,
+    ):
+        if not isinstance(tup, tuple) or not tup or not all(isinstance(x, int) for x in tup):
+            raise VDPError(f"VDP tuple must be a non-empty tuple of ints, got {tup!r}")
+        check_positive_int(counter, "counter")
+        check_nonnegative_int(n_in, "n_in")
+        check_nonnegative_int(n_out, "n_out")
+        self.tuple = tup
+        self.counter = counter
+        self.fnc = fnc
+        self.inputs: list[Channel | None] = [None] * n_in
+        self.outputs: list[Channel | None] = [None] * n_out
+        self.store: dict[str, Any] = dict(store or {})
+        self.firing_index = 0
+        self.destroyed = False
+        # Runtime wiring.
+        self.params: dict[str, Any] = {}
+        self._runtime = None  # set by the launcher; provides locking/notify
+
+    # -- construction --------------------------------------------------------
+
+    def insert_channel(self, channel: Channel, direction: str, slot: int) -> None:
+        """Attach a channel descriptor (``prt_vdp_channel_insert``).
+
+        ``direction`` is ``"in"`` or ``"out"``; the slot must match the
+        channel's declared slot on this side, and this VDP must be the
+        declared endpoint.
+        """
+        if direction == "in":
+            if channel.dst_tuple != self.tuple or channel.dst_slot != slot:
+                raise VDPError(
+                    f"channel {channel.describe()} is not an input slot {slot} of {self.tuple}"
+                )
+            table = self.inputs
+        elif direction == "out":
+            if channel.src_tuple != self.tuple or channel.src_slot != slot:
+                raise VDPError(
+                    f"channel {channel.describe()} is not an output slot {slot} of {self.tuple}"
+                )
+            table = self.outputs
+        else:
+            raise VDPError(f"direction must be 'in' or 'out', got {direction!r}")
+        if not 0 <= slot < len(table):
+            raise VDPError(f"slot {slot} out of range for VDP {self.tuple} ({direction})")
+        if table[slot] is not None:
+            raise VDPError(f"slot {slot} of VDP {self.tuple} ({direction}) already occupied")
+        table[slot] = channel
+
+    # -- firing rule ----------------------------------------------------------
+
+    def ready(self) -> bool:
+        """Fireable now?  (Caller must hold the owning node's lock.)
+
+        True when the counter is positive and every enabled input channel
+        holds a packet; a VDP whose inputs are all disabled (or which has
+        none) is a source and is ready by counter alone.
+        """
+        if self.destroyed or self.counter <= 0:
+            return False
+        attached = [c for c in self.inputs if c is not None]
+        enabled = [c for c in attached if c.enabled]
+        if attached and not enabled:
+            return False
+        return all(len(c) > 0 for c in enabled)
+
+    # -- firing-time API (called from user code inside ``fnc``) ---------------
+
+    def read(self, slot: int) -> Packet:
+        """Pop a packet from input ``slot``."""
+        ch = self._in(slot)
+        return self._rt().pop(ch)
+
+    def peek(self, slot: int) -> Packet | None:
+        """Look at the head packet of input ``slot`` without removing it."""
+        ch = self._in(slot)
+        return self._rt().peek(ch)
+
+    def write(self, slot: int, packet: Packet | object) -> None:
+        """Push a packet (or raw payload, auto-wrapped) to output ``slot``."""
+        if not isinstance(packet, Packet):
+            packet = Packet.of(packet)
+        ch = self._out(slot)
+        self._rt().push(ch, packet)
+
+    def forward(self, in_slot: int, out_slot: int) -> Packet:
+        """By-pass: pop from ``in_slot``, push the same packet to
+        ``out_slot`` immediately, and return it for local use.
+
+        Routed through the runtime as a single operation so that backends
+        which model time (the virtual-time executor) can stamp the
+        forwarded packet at the *start* of the firing — the whole point of
+        the by-pass idiom.
+        """
+        return self._rt().forward(self._in(in_slot), self._out(out_slot))
+
+    def enable_input(self, slot: int) -> None:
+        """Enable the input channel in ``slot`` (packets become visible)."""
+        self._rt().set_channel_state(self._in(slot), enabled=True)
+
+    def disable_input(self, slot: int) -> None:
+        """Disable the input channel in ``slot``."""
+        self._rt().set_channel_state(self._in(slot), enabled=False)
+
+    def destroy_input(self, slot: int) -> None:
+        """Destroy the input channel in ``slot`` permanently."""
+        self._rt().destroy_channel(self._in(slot))
+
+    # -- helpers --------------------------------------------------------------
+
+    def _in(self, slot: int) -> Channel:
+        ch = self.inputs[slot] if 0 <= slot < len(self.inputs) else None
+        if ch is None:
+            raise VDPError(f"VDP {self.tuple} has no input channel in slot {slot}")
+        return ch
+
+    def _out(self, slot: int) -> Channel:
+        ch = self.outputs[slot] if 0 <= slot < len(self.outputs) else None
+        if ch is None:
+            raise VDPError(f"VDP {self.tuple} has no output channel in slot {slot}")
+        return ch
+
+    def _rt(self):
+        if self._runtime is None:
+            raise VDPError(
+                f"VDP {self.tuple} is not attached to a running VSA; channel "
+                "operations are only valid inside a firing"
+            )
+        return self._runtime
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VDP{self.tuple}(counter={self.counter}, fired={self.firing_index})"

@@ -1,0 +1,34 @@
+"""Tree-based tile QR: operation lists, executors, VSA builders, public API."""
+
+from .api import QRFactorization, lstsq, qr_factor
+from .collector import ResultStore, assemble_factors
+from .costs import make_qr_cost_fn
+from .persist import load_factorization, save_factorization
+from .verify import VerificationReport, verify_factorization
+from .domino import build_domino_vsa
+from .ops import FACTOR_KINDS, UPDATE_KINDS, Op, expand_plans
+from .reference import FactorRecord, TileQRFactors, execute_ops
+from .vsa3d import QRArray, build_qr_vsa
+
+__all__ = [
+    "Op",
+    "FACTOR_KINDS",
+    "UPDATE_KINDS",
+    "expand_plans",
+    "FactorRecord",
+    "TileQRFactors",
+    "execute_ops",
+    "ResultStore",
+    "assemble_factors",
+    "QRArray",
+    "build_qr_vsa",
+    "build_domino_vsa",
+    "make_qr_cost_fn",
+    "save_factorization",
+    "load_factorization",
+    "VerificationReport",
+    "verify_factorization",
+    "QRFactorization",
+    "qr_factor",
+    "lstsq",
+]

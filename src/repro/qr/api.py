@@ -1,0 +1,198 @@
+"""High-level QR API: factor, apply Q, solve least squares.
+
+This is the public face of the library::
+
+    import numpy as np
+    from repro import qr_factor, lstsq
+
+    A = np.random.default_rng(0).standard_normal((4096, 512))
+    f = qr_factor(A, nb=128, ib=32, tree="hier", h=6)
+    R = f.R
+    x = lstsq(A, b, tree="hier")         # least-squares solve
+
+Backends
+--------
+``serial``
+    The reference executor: one Python thread, kernels run in schedule
+    order.  Fast and always available.
+``pulsar``
+    The full 3D virtual systolic array on the threaded PULSAR runtime,
+    optionally across several simulated distributed-memory nodes.  Produces
+    bit-identical factors to ``serial``; exercises the real dataflow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tiles.matrix import TileMatrix
+from ..trees.plan import TreeKind, plan_all_panels
+from ..util.errors import ConfigurationError
+from ..util.validation import as_f64_matrix, check_tile_params, require
+from .ops import expand_plans
+from .reference import TileQRFactors, execute_ops
+
+__all__ = ["QRFactorization", "qr_factor", "lstsq"]
+
+
+class QRFactorization:
+    """Result of :func:`qr_factor`: implicit ``A = Q R``.
+
+    Wraps :class:`~repro.qr.reference.TileQRFactors` with a NumPy-friendly
+    surface.  ``Q`` is kept in implicit (tiled Householder) form; use
+    :meth:`q_thin` only when the explicit factor is genuinely needed.
+    """
+
+    def __init__(self, factors: TileQRFactors, tree: TreeKind, backend: str, stats=None):
+        self._factors = factors
+        self.tree = tree
+        self.backend = backend
+        self.stats = stats  # RunStats for the pulsar backend, else None
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self._factors.m, self._factors.n)
+
+    @property
+    def R(self) -> np.ndarray:
+        """The ``n x n`` upper-triangular factor."""
+        return self._factors.r_factor()
+
+    def q_matmul(self, c: np.ndarray) -> np.ndarray:
+        """``Q @ c`` without forming Q (``c`` is ``(m, q)`` or ``(m,)``)."""
+        return self._apply(c, trans=False)
+
+    def qt_matmul(self, c: np.ndarray) -> np.ndarray:
+        """``Q^T @ c`` without forming Q."""
+        return self._apply(c, trans=True)
+
+    def q_thin(self) -> np.ndarray:
+        """Materialise the thin orthonormal factor (``m x n``)."""
+        return self._factors.q_thin()
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Least-squares solution of ``min_x ||A x - b||``."""
+        return self._factors.solve_ls(b)
+
+    def residuals(self, a: np.ndarray) -> dict[str, float]:
+        """Accuracy metrics against the original matrix ``a``.
+
+        Returns ``{"factorization": ||A - QR|| / ||A||,
+        "orthogonality": ||Q^T Q - I||}`` — the two standard backward-error
+        checks for a QR code.
+        """
+        a = as_f64_matrix(a)
+        q = self.q_thin()
+        res = float(np.linalg.norm(a - q @ self.R) / max(np.linalg.norm(a), 1e-300))
+        orth = float(np.linalg.norm(q.T @ q - np.eye(self.shape[1])))
+        return {"factorization": res, "orthogonality": orth}
+
+    def _apply(self, c: np.ndarray, trans: bool) -> np.ndarray:
+        c = np.asarray(c, dtype=np.float64)
+        squeeze = c.ndim == 1
+        if squeeze:
+            c = c[:, None]
+        out = self._factors.apply_qt(c) if trans else self._factors.apply_q(c)
+        return out[:, 0] if squeeze else out
+
+
+def qr_factor(
+    a: np.ndarray | TileMatrix,
+    *,
+    nb: int = 128,
+    ib: int = 32,
+    tree: TreeKind | str = TreeKind.HIER,
+    h: int | str = 6,
+    shifted: bool = True,
+    backend: str = "serial",
+    n_nodes: int = 1,
+    workers_per_node: int = 1,
+    policy: str = "lazy",
+    seed: int | None = None,
+) -> QRFactorization:
+    """Tree-based tile QR factorization of a tall-and-skinny matrix.
+
+    Parameters
+    ----------
+    a:
+        Dense ``(m, n)`` array with ``m >= n``, or a pre-tiled
+        :class:`TileMatrix` (then ``nb`` is taken from it).
+    nb, ib:
+        Tile size and inner block size (paper: ``nb in {192, 240}``,
+        ``ib = 48``).
+    tree:
+        Reduction tree: ``"flat"`` (domino QR of [4]), ``"binary"``,
+        ``"hier"`` (the paper's binary-on-flat, default), or ``"greedy"``.
+    h:
+        Domain size for the hierarchical tree, or ``"auto"`` to pick it
+        with the model-based selector
+        (:func:`repro.trees.choose_domain_size`, capped by the worker
+        count when ``backend="pulsar"``).
+    shifted:
+        Shift domain boundaries per panel (paper Figure 6b, default) or keep
+        them fixed (6a).
+    backend:
+        ``"serial"`` or ``"pulsar"`` (see module docstring).
+    n_nodes, workers_per_node, policy, seed:
+        PULSAR launch parameters (``backend="pulsar"`` only): simulated node
+        count, worker threads per node, lazy/aggressive scheduling, network
+        jitter seed.
+
+    Returns
+    -------
+    QRFactorization
+    """
+    if isinstance(a, TileMatrix):
+        tm = a.copy()
+        dense_nb = tm.nb
+    else:
+        a = as_f64_matrix(a)
+        tm = TileMatrix.from_dense(a, nb)
+        dense_nb = nb
+    check_tile_params(tm.m, tm.n, dense_nb, ib)
+    require(tm.m >= tm.n, f"tall-skinny QR requires m >= n, got {tm.m} x {tm.n}")
+    kind = TreeKind.coerce(tree)
+    if h == "auto":
+        from ..machine.model import kraken
+        from ..trees.auto import choose_domain_size
+
+        workers = n_nodes * workers_per_node if backend == "pulsar" else None
+        h = choose_domain_size(
+            tm.mt, machine=kraken(), nb=tm.nb, ib=ib, workers=workers
+        )
+    elif isinstance(h, str):
+        raise ConfigurationError(f"h must be an int or 'auto', got {h!r}")
+    plans = plan_all_panels(kind, tm.mt, tm.nt, h=h, shifted=shifted)
+    ops = expand_plans(tm.layout, plans)
+
+    if backend == "serial":
+        factors = execute_ops(tm, ops, ib)
+        return QRFactorization(factors, kind, backend)
+    if backend == "pulsar":
+        from .collector import assemble_factors
+        from .vsa3d import build_qr_vsa
+
+        total = n_nodes * workers_per_node
+        arr = build_qr_vsa(tm, plans, ib=ib, total_workers=total)
+        stats = arr.run(
+            n_nodes=n_nodes,
+            workers_per_node=workers_per_node,
+            policy=policy,
+            seed=seed,
+        )
+        factors = assemble_factors(arr.store, ops, ib)
+        return QRFactorization(factors, kind, backend, stats=stats)
+    raise ConfigurationError(f"unknown backend {backend!r}; expected 'serial' or 'pulsar'")
+
+
+def lstsq(
+    a: np.ndarray,
+    b: np.ndarray,
+    **kw,
+) -> np.ndarray:
+    """Solve the overdetermined system ``min_x ||A x - b||_2`` via tree QR.
+
+    The paper's motivating application (Section I).  Keyword arguments are
+    forwarded to :func:`qr_factor`.
+    """
+    return qr_factor(a, **kw).solve(b)

@@ -1,0 +1,91 @@
+"""VDP-to-thread mapping (paper Section V-D).
+
+The mapping is the last piece of information PULSAR needs from the user: a
+many-to-one function from VDP tuples to threads.  The paper's strategy for
+the QR array, reproduced here:
+
+* the domain (red/orange) VDPs of each panel are assigned cyclically —
+  consecutive columns of one domain land on consecutive threads, and each
+  new domain starts one thread later (Figure 8's numbering);
+* a binary (blue) VDP runs on the same thread as its *first child* — the
+  VDP currently holding its pivot tile — so the pivot never moves between
+  threads during the TT reduction, trading parallelism for locality
+  ("the child and parent VDPs cannot be executed in parallel, while this
+  mapping exploits the data locality").
+
+:class:`VDPThreadMap` is shared by the threaded runtime builder
+(:mod:`repro.qr.vsa3d`) and the DES task-graph builder
+(:mod:`repro.qr.dag`), so both backends see the same placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..trees.plan import PanelPlan
+from ..util.validation import check_positive_int
+from .ops import Op
+
+__all__ = ["VDPThreadMap"]
+
+
+@dataclass
+class VDPThreadMap:
+    """Thread placement for every VDP / task of a QR factorization."""
+
+    total_workers: int
+    _base: dict[tuple[int, int], int] = field(default_factory=dict)
+    _dom_of: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    @classmethod
+    def from_plans(cls, plans: list[PanelPlan], total_workers: int) -> "VDPThreadMap":
+        """Build the map for ``plans`` over ``total_workers`` threads.
+
+        The cursor advances once per *VDP*, i.e. by the number of columns in
+        each domain row (Figure 8 numbers threads across the whole plane),
+        so the column-``l`` VDPs of different panels and domains land on
+        different threads and panel pipelines never contend for a worker
+        until the array genuinely exceeds the machine.
+        """
+        check_positive_int(total_workers, "total_workers")
+        out = cls(total_workers=total_workers)
+        nt = len(plans)
+        rr = 0
+        for plan in plans:
+            cols = nt - plan.j
+            for d, members in enumerate(plan.domains):
+                out._base[(plan.j, d)] = rr
+                rr = (rr + cols) % total_workers
+                for r in members:
+                    out._dom_of[(plan.j, r)] = d
+        return out
+
+    def domain_worker(self, j: int, d: int, col: int) -> int:
+        """Thread of the domain VDP ``(j, d, col)``."""
+        return (self._base[(j, d)] + (col - j)) % self.total_workers
+
+    def row_domain(self, j: int, row: int) -> int:
+        """Domain index of tile row ``row`` in panel ``j``."""
+        return self._dom_of[(j, row)]
+
+    def binary_worker(self, j: int, piv: int, col: int) -> int:
+        """Thread of a TT VDP: its first child's thread (the pivot holder).
+
+        A pivot's tile is initially held by its domain's VDP and every
+        TT step inherits the thread, so the whole pivot chain is a fixed
+        point of this function.
+        """
+        return self.domain_worker(j, self.row_domain(j, piv), col)
+
+    def op_worker(self, op: Op) -> int:
+        """Thread executing one kernel operation (used by the DES)."""
+        col = op.l if op.l >= 0 else op.j
+        if op.kind in ("TTQRT", "TTMQR"):
+            return self.binary_worker(op.j, op.i, col)
+        if op.kind in ("TSQRT", "TSMQR"):
+            return self.domain_worker(op.j, self.row_domain(op.j, op.k2), col)
+        return self.domain_worker(op.j, self.row_domain(op.j, op.i), col)
+
+    def node_of_worker(self, worker: int, workers_per_node: int) -> int:
+        """Node housing a worker (workers are packed node-by-node)."""
+        return worker // workers_per_node

@@ -1,0 +1,89 @@
+"""Save and load factorizations.
+
+A :class:`~repro.qr.reference.TileQRFactors` is an implicit object (tiles +
+``T`` factors + record list); persisting it lets a tall-and-skinny panel be
+factored once and its ``Q``/``R`` reused across runs — the standard
+workflow when the same design matrix serves many right-hand sides.
+
+Format: a single ``.npz`` archive holding every tile, every ``T`` factor,
+the record table, and the geometry; no pickling, so archives are portable
+and safe to load.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..tiles.layout import TileLayout
+from ..tiles.matrix import TileMatrix
+from ..trees.plan import TreeKind
+from ..util.errors import ConfigurationError
+from .api import QRFactorization
+from .reference import FactorRecord, TileQRFactors
+
+__all__ = ["save_factorization", "load_factorization"]
+
+_FORMAT_VERSION = 1
+_KIND_CODES = {"GEQRT": 0, "TSQRT": 1, "TTQRT": 2}
+_KIND_NAMES = {v: k for k, v in _KIND_CODES.items()}
+
+
+def save_factorization(path: str | os.PathLike, f: QRFactorization) -> None:
+    """Write ``f`` to ``path`` as an ``.npz`` archive."""
+    factors = f._factors
+    a = factors.a
+    arrays: dict[str, np.ndarray] = {
+        "__meta__": np.array(
+            [_FORMAT_VERSION, a.m, a.n, a.nb, factors.ib], dtype=np.int64
+        ),
+        "__tree__": np.array([f.tree.value], dtype="U16"),
+        "__records__": np.array(
+            [
+                [_KIND_CODES[r.kind], r.i, r.k2, r.j, r.m2, r.k]
+                for r in factors.records
+            ],
+            dtype=np.int64,
+        ).reshape(len(factors.records), 6),
+    }
+    for i, j, tile in a.iter_tiles():
+        arrays[f"tile_{i}_{j}"] = tile
+    for idx, rec in enumerate(factors.records):
+        arrays[f"t_{idx}"] = rec.t
+    np.savez_compressed(path, **arrays)
+
+
+def load_factorization(path: str | os.PathLike) -> QRFactorization:
+    """Load a factorization previously written by :func:`save_factorization`."""
+    with np.load(path) as data:
+        meta = data["__meta__"]
+        if int(meta[0]) != _FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported factorization format version {int(meta[0])}"
+            )
+        m, n, nb, ib = (int(x) for x in meta[1:])
+        tree = TreeKind.coerce(str(data["__tree__"][0]))
+        layout = TileLayout(m, n, nb)
+        tiles = [
+            [np.array(data[f"tile_{i}_{j}"]) for j in range(layout.nt)]
+            for i in range(layout.mt)
+        ]
+        a = TileMatrix(layout, tiles)
+        rec_table = data["__records__"]
+        records = []
+        for idx in range(rec_table.shape[0]):
+            code, i, k2, j, m2, k = (int(x) for x in rec_table[idx])
+            records.append(
+                FactorRecord(
+                    kind=_KIND_NAMES[code],
+                    i=i,
+                    k2=k2,
+                    j=j,
+                    t=np.array(data[f"t_{idx}"]),
+                    m2=m2,
+                    k=k,
+                )
+            )
+    factors = TileQRFactors(a=a, records=records, ib=ib)
+    return QRFactorization(factors, tree, backend="loaded")

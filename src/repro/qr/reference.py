@@ -1,0 +1,171 @@
+"""Serial reference executor for tile QR — the numerical ground truth.
+
+Executes an operation list (:mod:`repro.qr.ops`) directly on a
+:class:`~repro.tiles.TileMatrix`, one kernel at a time, recording the
+compact-WY ``T`` factors so the implicit ``Q`` can later be applied.  Every
+other backend (the threaded PULSAR runtime, the simulator's functional
+checks) is validated against this executor: given the same operation list
+they must produce *bit-identical* factors, since the kernels are
+deterministic and the sequential order is a legal schedule of the DAG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.linalg
+
+from .. import kernels
+from ..tiles.matrix import TileMatrix
+from ..util.errors import ShapeError
+from ..util.validation import require
+from .ops import Op
+
+__all__ = ["FactorRecord", "TileQRFactors", "execute_ops"]
+
+
+@dataclass(frozen=True)
+class FactorRecord:
+    """One stored panel transformation (factor kernel + its ``T``).
+
+    The reflector vectors themselves stay inside the factored tile matrix
+    (below-diagonal storage), exactly as in PLASMA; only ``T`` and the shape
+    metadata need to be kept on the side.
+    """
+
+    kind: str  # GEQRT | TSQRT | TTQRT
+    i: int
+    k2: int
+    j: int
+    t: np.ndarray
+    m2: int
+    k: int
+
+
+@dataclass
+class TileQRFactors:
+    """The complete implicit QR factorization of a tile matrix.
+
+    Attributes
+    ----------
+    a:
+        The factored :class:`TileMatrix`: R in/above the diagonal tiles'
+        upper triangles, Householder reflectors elsewhere.
+    records:
+        Panel transformations in application order (``Q^T = product of the
+        recorded transforms applied forward``).
+    ib:
+        Inner block size used throughout.
+    """
+
+    a: TileMatrix
+    records: list[FactorRecord] = field(default_factory=list)
+    ib: int = 48
+
+    @property
+    def m(self) -> int:
+        return self.a.m
+
+    @property
+    def n(self) -> int:
+        return self.a.n
+
+    def r_factor(self) -> np.ndarray:
+        """The dense ``n x n`` upper-triangular R."""
+        return self.a.upper_triangular()
+
+    # -- applying the implicit Q ------------------------------------------
+
+    def apply_qt(self, c: np.ndarray) -> np.ndarray:
+        """Return ``Q^T @ c`` for a dense ``(m, q)`` array ``c``."""
+        return self._apply(c, trans=True)
+
+    def apply_q(self, c: np.ndarray) -> np.ndarray:
+        """Return ``Q @ c`` for a dense ``(m, q)`` array ``c``."""
+        return self._apply(c, trans=False)
+
+    def q_thin(self) -> np.ndarray:
+        """Materialise the thin ``(m, n)`` orthonormal factor ``Q``."""
+        c = np.zeros((self.m, self.n))
+        c[: self.n, : self.n] = np.eye(self.n)
+        return self.apply_q(c)
+
+    def solve_ls(self, b: np.ndarray) -> np.ndarray:
+        """Least-squares solution of ``min_x ||A x - b||_2``.
+
+        This is the paper's motivating application (Section I): apply
+        ``Q^T`` to ``b`` and back-substitute against R.
+        """
+        b = np.asarray(b, dtype=np.float64)
+        squeeze = b.ndim == 1
+        if squeeze:
+            b = b[:, None]
+        if b.shape[0] != self.m:
+            raise ShapeError(f"b has {b.shape[0]} rows, expected {self.m}")
+        y = self.apply_qt(b)[: self.n, :]
+        x = scipy.linalg.solve_triangular(self.r_factor(), y, lower=False)
+        return x[:, 0] if squeeze else x
+
+    def _apply(self, c: np.ndarray, trans: bool) -> np.ndarray:
+        c = np.array(c, dtype=np.float64, copy=True)
+        if c.ndim != 2 or c.shape[0] != self.m:
+            raise ShapeError(f"c must be ({self.m}, q), got {c.shape}")
+        layout = self.a.layout
+        blocks = [c[layout.row_span(i), :] for i in range(layout.mt)]
+        records = self.records if trans else list(reversed(self.records))
+        for rec in records:
+            if rec.kind == "GEQRT":
+                kernels.ormqr(self.a.tile(rec.i, rec.j), rec.t, blocks[rec.i], trans=trans)
+            elif rec.kind == "TSQRT":
+                v2 = self.a.tile(rec.k2, rec.j)
+                kernels.tsmqr(v2, rec.t, blocks[rec.i], blocks[rec.k2], trans=trans)
+            else:  # TTQRT
+                v2 = self.a.tile(rec.k2, rec.j)[: rec.m2, : rec.k]
+                c2 = blocks[rec.k2][: rec.m2, :]
+                kernels.ttmqr(v2, rec.t, blocks[rec.i], c2, trans=trans)
+        return c
+
+
+def execute_ops(a: TileMatrix, ops: list[Op], ib: int) -> TileQRFactors:
+    """Run an operation list serially on ``a`` (modified in place).
+
+    Returns the :class:`TileQRFactors` wrapping ``a`` and the recorded
+    transformations.  ``ops`` must be in a sequentially valid order, e.g.
+    straight from :func:`repro.qr.ops.expand_plans`.
+    """
+    require(a.m >= a.n, f"tile QR requires m >= n, got {a.m} x {a.n}")
+    factors = TileQRFactors(a=a, ib=ib)
+    ts: dict[tuple[str, int, int], np.ndarray] = {}
+    for op in ops:
+        if op.kind == "GEQRT":
+            t = kernels.geqrt(a.tile(op.i, op.j), ib)
+            ts[("G", op.i, op.j)] = t
+            factors.records.append(FactorRecord("GEQRT", op.i, -1, op.j, t, op.m2, op.k))
+        elif op.kind == "ORMQR":
+            kernels.ormqr(a.tile(op.i, op.j), ts[("G", op.i, op.j)], a.tile(op.i, op.l))
+        elif op.kind == "TSQRT":
+            r = a.tile(op.i, op.j)[: op.k, : op.k]
+            t = kernels.tsqrt(r, a.tile(op.k2, op.j), ib)
+            ts[("E", op.k2, op.j)] = t
+            factors.records.append(FactorRecord("TSQRT", op.i, op.k2, op.j, t, op.m2, op.k))
+        elif op.kind == "TSMQR":
+            kernels.tsmqr(
+                a.tile(op.k2, op.j),
+                ts[("E", op.k2, op.j)],
+                a.tile(op.i, op.l),
+                a.tile(op.k2, op.l),
+            )
+        elif op.kind == "TTQRT":
+            r1 = a.tile(op.i, op.j)[: op.k, : op.k]
+            r2 = a.tile(op.k2, op.j)[: op.m2, : op.k]
+            t = kernels.ttqrt(r1, r2, ib)
+            ts[("E", op.k2, op.j)] = t
+            factors.records.append(FactorRecord("TTQRT", op.i, op.k2, op.j, t, op.m2, op.k))
+        elif op.kind == "TTMQR":
+            v2 = a.tile(op.k2, op.j)[: op.m2, : op.k]
+            c2 = a.tile(op.k2, op.l)[: op.m2, :]
+            kernels.ttmqr(v2, ts[("E", op.k2, op.j)], a.tile(op.i, op.l), c2)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown op kind {op.kind!r}")
+    return factors

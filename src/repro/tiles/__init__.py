@@ -1,0 +1,14 @@
+"""Tile-major matrix storage and generators (the tile-algorithm substrate)."""
+
+from .generate import graded_conditioned, least_squares_problem, random_dense, random_tall_skinny
+from .layout import TileLayout
+from .matrix import TileMatrix
+
+__all__ = [
+    "TileLayout",
+    "TileMatrix",
+    "random_dense",
+    "random_tall_skinny",
+    "graded_conditioned",
+    "least_squares_problem",
+]

@@ -1,0 +1,160 @@
+"""Tile-major matrix storage.
+
+The tile algorithm stores each ``nb x nb`` tile contiguously ("cache
+friendly", paper Section V-A).  :class:`TileMatrix` keeps one owned float64
+array per tile; conversions to and from the dense (LAPACK-style) layout are
+explicit, mirroring the layout-translation step real tile libraries perform.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from ..util.errors import ShapeError
+from ..util.validation import as_f64_matrix, require
+from .layout import TileLayout
+
+__all__ = ["TileMatrix"]
+
+
+class TileMatrix:
+    """An ``m x n`` float64 matrix stored as a grid of contiguous tiles.
+
+    Parameters
+    ----------
+    layout:
+        Tile geometry.
+    tiles:
+        Optional pre-built tile grid (row-major nested lists).  When omitted
+        the matrix is zero-initialised.
+    """
+
+    def __init__(self, layout: TileLayout, tiles: list[list[np.ndarray]] | None = None):
+        self.layout = layout
+        if tiles is None:
+            tiles = [
+                [np.zeros(layout.tile_shape(i, j)) for j in range(layout.nt)]
+                for i in range(layout.mt)
+            ]
+        else:
+            require(len(tiles) == layout.mt, "tile grid has wrong number of rows")
+            for i, row in enumerate(tiles):
+                require(len(row) == layout.nt, "tile grid has wrong number of columns")
+                for j, t in enumerate(row):
+                    if t.shape != layout.tile_shape(i, j):
+                        raise ShapeError(
+                            f"tile ({i},{j}) has shape {t.shape}, "
+                            f"expected {layout.tile_shape(i, j)}"
+                        )
+        self._tiles = tiles
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, a: np.ndarray, nb: int) -> "TileMatrix":
+        """Copy a dense array into tile-major storage."""
+        a = as_f64_matrix(a)
+        layout = TileLayout(a.shape[0], a.shape[1], nb)
+        # Note: an explicit copy, never ascontiguousarray — full-width slices
+        # of a C-contiguous input are already contiguous and would alias the
+        # caller's array, letting the factorization mutate it.
+        tiles = [
+            [
+                np.array(a[layout.row_span(i), layout.col_span(j)], order="C", copy=True)
+                for j in range(layout.nt)
+            ]
+            for i in range(layout.mt)
+        ]
+        return cls(layout, tiles)
+
+    @classmethod
+    def zeros(cls, m: int, n: int, nb: int) -> "TileMatrix":
+        """A zero matrix in tile-major storage."""
+        return cls(TileLayout(m, n, nb))
+
+    # -- element access ----------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        return self.layout.m
+
+    @property
+    def n(self) -> int:
+        return self.layout.n
+
+    @property
+    def nb(self) -> int:
+        return self.layout.nb
+
+    @property
+    def mt(self) -> int:
+        return self.layout.mt
+
+    @property
+    def nt(self) -> int:
+        return self.layout.nt
+
+    def tile(self, i: int, j: int) -> np.ndarray:
+        """The (mutable) tile at tile coordinates ``(i, j)``."""
+        self.layout._check_i(i)
+        self.layout._check_j(j)
+        return self._tiles[i][j]
+
+    def set_tile(self, i: int, j: int, value: np.ndarray) -> None:
+        """Replace tile ``(i, j)``; the value is copied into owned storage."""
+        expected = self.layout.tile_shape(i, j)
+        value = np.asarray(value, dtype=np.float64)
+        if value.shape != expected:
+            raise ShapeError(f"tile ({i},{j}) must have shape {expected}, got {value.shape}")
+        self._tiles[i][j] = np.array(value, order="C", copy=True)
+
+    def iter_tiles(self) -> Iterator[tuple[int, int, np.ndarray]]:
+        """Yield ``(i, j, tile)`` in row-major order."""
+        for i in range(self.mt):
+            for j in range(self.nt):
+                yield i, j, self._tiles[i][j]
+
+    # -- conversions and math ----------------------------------------------
+
+    def to_dense(self) -> np.ndarray:
+        """Assemble the dense ``m x n`` array (copies)."""
+        out = np.empty((self.m, self.n))
+        for i, j, t in self.iter_tiles():
+            out[self.layout.row_span(i), self.layout.col_span(j)] = t
+        return out
+
+    def copy(self) -> "TileMatrix":
+        """Deep copy (each tile buffer is duplicated)."""
+        return TileMatrix(self.layout, [[t.copy() for t in row] for row in self._tiles])
+
+    def norm_fro(self) -> float:
+        """Frobenius norm computed tile-by-tile (no dense assembly)."""
+        acc = 0.0
+        for _, _, t in self.iter_tiles():
+            acc += float(np.sum(t * t))
+        return float(np.sqrt(acc))
+
+    def upper_triangular(self) -> np.ndarray:
+        """Dense upper-triangular ``n x n`` part — the R factor after tile QR.
+
+        Only meaningful once the factorization has completed; tiles strictly
+        below the diagonal are ignored and the strict lower triangle of
+        diagonal tiles (which stores Householder vectors) is zeroed.
+        """
+        r = np.zeros((self.n, self.n))
+        for j in range(self.nt):
+            cs = self.layout.col_span(j)
+            for i in range(min(j + 1, self.mt)):
+                rs_rows = self.layout.tile_rows(i)
+                dst = slice(i * self.nb, i * self.nb + rs_rows)
+                if dst.start >= self.n:
+                    continue
+                dst = slice(dst.start, min(dst.stop, self.n))
+                block = self._tiles[i][j][: dst.stop - dst.start, :]
+                r[dst, cs] = np.triu(block) if i == j else block
+        return r
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TileMatrix(m={self.m}, n={self.n}, nb={self.nb}, mt={self.mt}, nt={self.nt})"

@@ -1,0 +1,17 @@
+"""Reduction trees and panel elimination plans (paper Section V)."""
+
+from .auto import choose_domain_size, panel_depth_model
+from .plan import Elimination, PanelPlan, TreeKind, plan_all_panels, plan_panel
+from .stats import PlanStats, summarize_plans
+
+__all__ = [
+    "choose_domain_size",
+    "panel_depth_model",
+    "TreeKind",
+    "Elimination",
+    "PanelPlan",
+    "plan_panel",
+    "plan_all_panels",
+    "PlanStats",
+    "summarize_plans",
+]

@@ -1,0 +1,289 @@
+"""Reduction-tree panel plans (paper Sections V-A/V-B).
+
+A *panel plan* says, for one panel ``j`` of the tile matrix, which tile rows
+receive a ``GEQRT`` factorization and in which order the remaining tiles are
+eliminated, each elimination being either
+
+* ``TS`` — triangle-on-square (``dtsqrt``): the eliminated tile is still a
+  full tile (flat-tree reduction inside a domain), or
+* ``TT`` — triangle-on-triangle (``dttqrt``): both tiles already hold R
+  factors (binary-tree reduction of domain top tiles).
+
+The three tree shapes evaluated in the paper are ``flat`` (the domino QR of
+[4]), ``binary``, and ``hier`` — a binary tree on top of flat trees with
+``h`` tiles per domain.  ``greedy`` is included as an extension from the
+hierarchical-QR literature the paper builds on [6,7].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..util.errors import ScheduleError
+from ..util.validation import check_nonnegative_int, check_positive_int, require
+
+__all__ = ["TreeKind", "Elimination", "PanelPlan", "plan_panel", "plan_all_panels"]
+
+
+class TreeKind(str, Enum):
+    """Reduction-tree families selectable throughout the library."""
+
+    FLAT = "flat"
+    BINARY = "binary"
+    HIER = "hier"
+    GREEDY = "greedy"
+
+    @classmethod
+    def coerce(cls, value: "TreeKind | str") -> "TreeKind":
+        """Accept enum members or their string values (case-insensitive)."""
+        if isinstance(value, TreeKind):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError as exc:
+            valid = ", ".join(k.value for k in cls)
+            raise ScheduleError(f"unknown tree kind {value!r}; expected one of: {valid}") from exc
+
+
+@dataclass(frozen=True)
+class Elimination:
+    """One annihilation step: tile row ``row`` is folded into ``piv``.
+
+    Attributes
+    ----------
+    kind:
+        ``"TS"`` or ``"TT"`` (selects TSQRT/TSMQR vs TTQRT/TTMQR kernels).
+    piv, row:
+        Global tile-row indices; after the step, ``piv`` holds the combined
+        R factor and ``row`` holds reflectors.
+    level:
+        Tree level (0 for flat-tree steps; 1, 2, ... for successive binary
+        rounds) — used by trace colouring and the VDP-to-thread mapping.
+    domain:
+        Index of the domain this step belongs to (binary steps carry the
+        pivot's domain).
+    """
+
+    kind: str
+    piv: int
+    row: int
+    level: int = 0
+    domain: int = 0
+
+    def __post_init__(self) -> None:
+        require(self.kind in ("TS", "TT"), f"elimination kind must be TS or TT, got {self.kind!r}")
+        require(self.piv != self.row, f"cannot eliminate row {self.row} into itself")
+
+
+@dataclass
+class PanelPlan:
+    """Complete reduction plan for panel ``j``.
+
+    ``eliminations`` are topologically ordered: executing them sequentially
+    is always valid (the DAG builder extracts the actual parallelism).
+    """
+
+    j: int
+    rows: list[int]
+    geqrt_rows: list[int]
+    eliminations: list[Elimination]
+    domains: list[list[int]] = field(default_factory=list)
+
+    @property
+    def pivot(self) -> int:
+        """The surviving tile row holding the panel's final R (always rows[0])."""
+        return self.rows[0]
+
+    def validate(self) -> None:
+        """Check the tree invariants; raises :class:`ScheduleError` on violation.
+
+        * every non-pivot row is eliminated exactly once;
+        * a pivot is never a previously eliminated row;
+        * TS eliminations target rows that never received GEQRT (still full
+          tiles), TT eliminations target rows that hold an R factor.
+        """
+        eliminated: set[int] = set()
+        triangular: set[int] = set(self.geqrt_rows)
+        rows_set = set(self.rows)
+        if self.rows[0] not in self.geqrt_rows and not any(
+            e.piv == self.rows[0] for e in self.eliminations
+        ):
+            raise ScheduleError(f"panel {self.j}: pivot row {self.rows[0]} never factorized")
+        for e in self.eliminations:
+            if e.piv not in rows_set or e.row not in rows_set:
+                raise ScheduleError(f"panel {self.j}: elimination {e} uses rows outside panel")
+            if e.piv in eliminated:
+                raise ScheduleError(f"panel {self.j}: pivot {e.piv} already eliminated")
+            if e.row in eliminated:
+                raise ScheduleError(f"panel {self.j}: row {e.row} eliminated twice")
+            if e.piv not in triangular:
+                raise ScheduleError(f"panel {self.j}: pivot {e.piv} not triangular before {e}")
+            if e.kind == "TT" and e.row not in triangular:
+                raise ScheduleError(f"panel {self.j}: TT elimination of full tile {e.row}")
+            if e.kind == "TS" and e.row in triangular:
+                raise ScheduleError(f"panel {self.j}: TS elimination of triangular tile {e.row}")
+            eliminated.add(e.row)
+            triangular.add(e.piv)  # piv stays triangular; row is consumed
+        missing = rows_set - eliminated - {self.rows[0]}
+        if missing:
+            raise ScheduleError(f"panel {self.j}: rows never eliminated: {sorted(missing)}")
+
+    def critical_path_length(self) -> int:
+        """Length (in eliminations) of the longest pivot chain.
+
+        A lower bound on the panel's parallel reduction depth: consecutive
+        eliminations into the same pivot serialise, and an elimination of a
+        row must follow everything that made that row triangular/combined.
+        """
+        depth: dict[int, int] = {}
+        for e in self.eliminations:
+            d = max(depth.get(e.piv, 0), depth.get(e.row, 0)) + 1
+            depth[e.piv] = d
+        return max(depth.values(), default=0)
+
+
+def _split_domains(rows: list[int], h: int, shifted: bool, j: int) -> list[list[int]]:
+    """Partition panel rows into flat-tree domains of ``h`` tiles.
+
+    ``shifted`` (the paper's default, Figure 6b) counts domains from the
+    panel's current top row, so the boundary moves down one tile per panel
+    and the *last* domain is the partial one.  ``fixed`` (Figure 6a) aligns
+    boundaries to absolute tile rows (multiples of ``h``), so the *first*
+    domain of later panels is partial.
+    """
+    if shifted:
+        return [rows[s : s + h] for s in range(0, len(rows), h)]
+    domains: list[list[int]] = []
+    current: list[int] = []
+    for r in rows:
+        if current and r % h == 0:
+            domains.append(current)
+            current = []
+        current.append(r)
+    if current:
+        domains.append(current)
+    return domains
+
+
+def _binary_rounds(heads: list[int]) -> list[Elimination]:
+    """Binary-tree TT eliminations over already-triangular ``heads``.
+
+    Pairs neighbours each round (level 1, 2, ...), keeping the lower index
+    as pivot, exactly the reduction drawn in the paper's Figure 8.
+    """
+    elims: list[Elimination] = []
+    level = 1
+    survivors = list(heads)
+    while len(survivors) > 1:
+        nxt: list[int] = []
+        for idx in range(0, len(survivors) - 1, 2):
+            piv, row = survivors[idx], survivors[idx + 1]
+            elims.append(Elimination("TT", piv, row, level=level, domain=idx // 2))
+            nxt.append(piv)
+        if len(survivors) % 2 == 1:
+            nxt.append(survivors[-1])
+        survivors = nxt
+        level += 1
+    return elims
+
+
+def _greedy_rounds(heads: list[int]) -> list[Elimination]:
+    """Greedy TT reduction from [6]: fold the bottom half up each round.
+
+    Differs from binary pairing in which tiles meet: row ``i`` of the bottom
+    half is folded into row ``i`` of the top half, which shortens pivot
+    chains when domains finish at staggered times.
+    """
+    elims: list[Elimination] = []
+    level = 1
+    survivors = list(heads)
+    while len(survivors) > 1:
+        half = (len(survivors) + 1) // 2
+        top, bottom = survivors[:half], survivors[half:]
+        for idx, row in enumerate(bottom):
+            elims.append(Elimination("TT", top[idx], row, level=level, domain=idx))
+        survivors = top
+        level += 1
+    return elims
+
+
+def plan_panel(
+    kind: TreeKind | str,
+    j: int,
+    mt: int,
+    *,
+    h: int = 6,
+    shifted: bool = True,
+) -> PanelPlan:
+    """Build the reduction plan for panel ``j`` of an ``mt``-tile-row matrix.
+
+    Parameters
+    ----------
+    kind:
+        Tree family (:class:`TreeKind` or its string value).
+    j:
+        Panel (tile-column) index; rows ``j .. mt-1`` participate.
+    mt:
+        Number of tile rows.
+    h:
+        Domain size for the hierarchical tree (paper: 6 or 12); ignored by
+        the other trees.
+    shifted:
+        Domain-boundary strategy for the hierarchical tree (Figure 6).
+    """
+    kind = TreeKind.coerce(kind)
+    check_nonnegative_int(j, "j")
+    check_positive_int(mt, "mt")
+    require(j < mt, f"panel {j} out of range for mt={mt}")
+    rows = list(range(j, mt))
+
+    if kind is TreeKind.FLAT or len(rows) == 1:
+        plan = PanelPlan(
+            j=j,
+            rows=rows,
+            geqrt_rows=[rows[0]],
+            eliminations=[Elimination("TS", rows[0], r, level=0) for r in rows[1:]],
+            domains=[rows],
+        )
+    elif kind is TreeKind.BINARY:
+        plan = PanelPlan(
+            j=j,
+            rows=rows,
+            geqrt_rows=list(rows),
+            eliminations=_binary_rounds(rows),
+            domains=[[r] for r in rows],
+        )
+    elif kind is TreeKind.GREEDY:
+        plan = PanelPlan(
+            j=j,
+            rows=rows,
+            geqrt_rows=list(rows),
+            eliminations=_greedy_rounds(rows),
+            domains=[[r] for r in rows],
+        )
+    else:  # hierarchical: flat trees inside domains, binary tree on top
+        check_positive_int(h, "h")
+        domains = _split_domains(rows, h, shifted, j)
+        heads = [d[0] for d in domains]
+        elims: list[Elimination] = []
+        for di, dom in enumerate(domains):
+            elims.extend(Elimination("TS", dom[0], r, level=0, domain=di) for r in dom[1:])
+        elims.extend(_binary_rounds(heads))
+        plan = PanelPlan(j=j, rows=rows, geqrt_rows=heads, eliminations=elims, domains=domains)
+
+    plan.validate()
+    return plan
+
+
+def plan_all_panels(
+    kind: TreeKind | str,
+    mt: int,
+    nt: int,
+    *,
+    h: int = 6,
+    shifted: bool = True,
+) -> list[PanelPlan]:
+    """Plans for every panel ``j = 0 .. min(mt, nt) - 1``."""
+    check_positive_int(nt, "nt")
+    return [plan_panel(kind, j, mt, h=h, shifted=shifted) for j in range(min(mt, nt))]

@@ -1,0 +1,61 @@
+"""Summary statistics over panel plans (op counts, reduction depths).
+
+Used by tests (cross-checking analytical counts), by the tuning experiment
+(E5), and by DESIGN/EXPERIMENTS reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .plan import PanelPlan
+
+__all__ = ["PlanStats", "summarize_plans"]
+
+
+@dataclass(frozen=True)
+class PlanStats:
+    """Aggregate counts over a list of :class:`PanelPlan`.
+
+    ``max_depth`` is the largest per-panel reduction critical path — the
+    quantity a tree minimises at the expense of locality (paper Section V-B).
+    """
+
+    panels: int
+    geqrt: int
+    ts: int
+    tt: int
+    max_depth: int
+    max_parallel_elims: int
+
+    @property
+    def eliminations(self) -> int:
+        return self.ts + self.tt
+
+
+def summarize_plans(plans: list[PanelPlan]) -> PlanStats:
+    """Compute :class:`PlanStats` for ``plans``."""
+    geqrt = sum(len(p.geqrt_rows) for p in plans)
+    ts = sum(1 for p in plans for e in p.eliminations if e.kind == "TS")
+    tt = sum(1 for p in plans for e in p.eliminations if e.kind == "TT")
+    depth = max((p.critical_path_length() for p in plans), default=0)
+    # Width: how many eliminations of one panel could run concurrently if
+    # dependencies alone constrained them (per-level count maximum).
+    width = 0
+    for p in plans:
+        per_level: dict[tuple[int, int], int] = {}
+        for e in p.eliminations:
+            key = (e.level, 0 if e.level else e.domain)
+            per_level[key] = per_level.get(key, 0) + 1
+        # flat-tree steps within one domain serialise; count domains instead
+        flat_domains = len({e.domain for e in p.eliminations if e.level == 0})
+        level_counts = [c for (lvl, _), c in per_level.items() if lvl > 0]
+        width = max(width, flat_domains + (max(level_counts) if level_counts else 0))
+    return PlanStats(
+        panels=len(plans),
+        geqrt=geqrt,
+        ts=ts,
+        tt=tt,
+        max_depth=depth,
+        max_parallel_elims=width,
+    )

@@ -1,0 +1,81 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+type at the API boundary.  Subclasses are split by subsystem so tests can
+assert on the precise failure mode.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ShapeError",
+    "ChannelError",
+    "ChannelClosedError",
+    "ChannelDisabledError",
+    "VDPError",
+    "VSAError",
+    "RuntimeStateError",
+    "NetworkError",
+    "TagError",
+    "ScheduleError",
+    "SimulationError",
+    "DeadlockError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Invalid user-supplied parameter (tile size, tree kind, machine...)."""
+
+
+class ShapeError(ReproError, ValueError):
+    """A matrix, tile, or buffer has an incompatible shape."""
+
+
+class ChannelError(ReproError):
+    """Base class for channel misuse in the PULSAR runtime."""
+
+
+class ChannelClosedError(ChannelError):
+    """Push/pop on a destroyed channel."""
+
+
+class ChannelDisabledError(ChannelError):
+    """Pop from a channel that is currently disabled."""
+
+
+class VDPError(ReproError):
+    """Invalid VDP construction or firing-time misuse."""
+
+
+class VSAError(ReproError):
+    """Invalid VSA construction (duplicate tuples, dangling channels...)."""
+
+
+class RuntimeStateError(ReproError):
+    """Operation not valid in the runtime's current state (e.g. run twice)."""
+
+
+class NetworkError(ReproError):
+    """Simulated-MPI fabric failure (unknown rank, fabric shut down...)."""
+
+
+class TagError(NetworkError):
+    """Message tag outside the supported range or with no matching channel."""
+
+
+class ScheduleError(ReproError):
+    """An elimination schedule violates tree invariants."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event simulation error (bad task graph, time going back...)."""
+
+
+class DeadlockError(SimulationError):
+    """The simulator or runtime detected that no progress is possible."""

@@ -1,0 +1,34 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tiles import TileMatrix, random_dense
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_matrix() -> np.ndarray:
+    """A 40 x 24 tall-skinny matrix used across integration tests."""
+    return random_dense(40, 24, seed=42)
+
+
+@pytest.fixture
+def small_tiles(small_matrix: np.ndarray) -> TileMatrix:
+    return TileMatrix.from_dense(small_matrix, 8)
+
+
+def qr_accuracy(a: np.ndarray, q: np.ndarray, r: np.ndarray) -> tuple[float, float]:
+    """(relative residual, orthogonality defect) of a thin QR."""
+    res = float(np.linalg.norm(a - q @ r) / np.linalg.norm(a))
+    orth = float(np.linalg.norm(q.T @ q - np.eye(q.shape[1])))
+    return res, orth
+
+
+TOL = 1e-12

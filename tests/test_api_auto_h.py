@@ -1,0 +1,41 @@
+"""Tests for the ``h="auto"`` API path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import qr_factor
+from repro.tiles import random_dense
+from repro.util import ConfigurationError
+
+
+class TestAutoH:
+    def test_auto_h_factors_correctly(self):
+        a = random_dense(96, 24, seed=80)
+        f = qr_factor(a, nb=8, ib=4, tree="hier", h="auto")
+        assert f.residuals(a)["factorization"] < 1e-13
+
+    def test_auto_h_pulsar_backend(self):
+        a = random_dense(48, 16, seed=81)
+        f = qr_factor(
+            a, nb=8, ib=4, tree="hier", h="auto",
+            backend="pulsar", workers_per_node=2,
+        )
+        assert f.residuals(a)["factorization"] < 1e-13
+
+    def test_invalid_h_string(self):
+        a = random_dense(24, 8, seed=82)
+        with pytest.raises(ConfigurationError, match="'auto'"):
+            qr_factor(a, nb=8, ib=4, h="seven")
+
+    def test_auto_matches_explicit_choice(self):
+        from repro.machine import kraken
+        from repro.trees import choose_domain_size
+
+        a = random_dense(96, 24, seed=83)
+        h = choose_domain_size(12, machine=kraken(), nb=8, ib=4)
+        f_auto = qr_factor(a, nb=8, ib=4, tree="hier", h="auto")
+        f_explicit = qr_factor(a, nb=8, ib=4, tree="hier", h=h)
+        import numpy as np
+
+        np.testing.assert_array_equal(f_auto.R, f_explicit.R)

@@ -1,0 +1,122 @@
+"""Unit tests for the comparison baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ParsecModel,
+    block_qr,
+    block_qr_r,
+    parsec_qr_simulate,
+    scalapack_qr_time,
+)
+from repro.machine import kraken
+from repro.tiles import TileLayout, random_dense
+from repro.trees import plan_all_panels
+from repro.util import ConfigurationError
+
+
+class TestBlockQR:
+    def test_accuracy(self):
+        a = random_dense(50, 30, seed=20)
+        q, r = block_qr(a, nb=8)
+        assert np.linalg.norm(a - q @ r) / np.linalg.norm(a) < 1e-13
+        np.testing.assert_allclose(q.T @ q, np.eye(30), atol=1e-13)
+        np.testing.assert_array_equal(r, np.triu(r))
+
+    def test_matches_numpy_r(self):
+        a = random_dense(64, 16, seed=21)
+        r = block_qr_r(a, nb=8)
+        np.testing.assert_allclose(np.abs(r), np.abs(np.linalg.qr(a, mode="r")), atol=1e-11)
+
+    def test_matches_tree_qr_r(self):
+        """Block QR and tile-tree QR are the same mathematical object."""
+        from repro import qr_factor
+
+        a = random_dense(48, 16, seed=22)
+        r_block = np.abs(block_qr_r(a, nb=8))
+        r_tree = np.abs(qr_factor(a, nb=8, ib=4, tree="hier", h=3).R)
+        np.testing.assert_allclose(r_block, r_tree, atol=1e-11)
+
+    def test_nb_larger_than_n(self):
+        a = random_dense(20, 6, seed=23)
+        q, r = block_qr(a, nb=64)
+        assert np.linalg.norm(a - q @ r) < 1e-12
+
+    def test_rejects_wide(self):
+        with pytest.raises(ConfigurationError):
+            block_qr(random_dense(5, 10, seed=0))
+
+    def test_inner_blocking(self):
+        a = random_dense(40, 24, seed=24)
+        q, r = block_qr(a, nb=12, ib=4)
+        assert np.linalg.norm(a - q @ r) / np.linalg.norm(a) < 1e-13
+
+
+class TestScalapackModel:
+    def test_estimate_fields(self):
+        est = scalapack_qr_time(23040, 1152, 240, kraken())
+        assert est.seconds > 0
+        assert est.panel_seconds + est.update_seconds == pytest.approx(est.seconds)
+        assert est.grid[0] * est.grid[1] == 240
+        assert 0 < est.gflops
+
+    def test_panel_dominates_tall_skinny(self):
+        """On tall-skinny matrices the latency-bound panel is the story."""
+        est = scalapack_qr_time(368640, 4608, 3840, kraken())
+        assert est.panel_fraction > 0.5
+
+    def test_more_cores_never_slower(self):
+        t1 = scalapack_qr_time(46080, 1152, 120, kraken()).seconds
+        t2 = scalapack_qr_time(46080, 1152, 960, kraken()).seconds
+        assert t2 <= t1
+
+    def test_strong_scaling_saturates(self):
+        """Latency terms bound the achievable speedup."""
+        g_small = scalapack_qr_time(92160, 4608, 1200, kraken()).gflops
+        g_large = scalapack_qr_time(92160, 4608, 9600, kraken()).gflops
+        assert g_large < 4.0 * g_small
+
+    def test_requires_tall(self):
+        with pytest.raises(ConfigurationError):
+            scalapack_qr_time(10, 100, 12, kraken())
+
+
+class TestParsecModel:
+    def setup_graph(self, cores=48):
+        layout = TileLayout(3840, 768, 192)
+        plans = plan_all_panels("hier", layout.mt, layout.nt, h=6)
+        return layout, plans, cores
+
+    def test_slower_than_pulsar(self):
+        from repro.dessim import simulate
+        from repro.qr.dag import build_qr_taskgraph
+
+        layout, plans, cores = self.setup_graph()
+        mach = kraken()
+        qtg = build_qr_taskgraph(layout, plans, mach, cores, 48)
+        pulsar = simulate(
+            qtg.graph, n_workers=qtg.n_workers, task_overhead_s=mach.task_overhead_s
+        ).gflops(qtg.useful_flops)
+        _, parsec = parsec_qr_simulate(layout, plans, mach, cores, 48)
+        assert parsec < pulsar
+        # The calibrated gap is in the paper's ballpark (5%..30%).
+        assert 1.03 < pulsar / parsec < 1.35
+
+    def test_dilation_knob_monotone(self):
+        layout, plans, cores = self.setup_graph()
+        _, g1 = parsec_qr_simulate(
+            layout, plans, kraken(), cores, 48, model=ParsecModel(task_dilation=1.05)
+        )
+        _, g2 = parsec_qr_simulate(
+            layout, plans, kraken(), cores, 48, model=ParsecModel(task_dilation=1.30)
+        )
+        assert g2 < g1
+
+    def test_model_validation(self):
+        with pytest.raises(ConfigurationError):
+            ParsecModel(task_dilation=0.0)
+        with pytest.raises(ConfigurationError):
+            ParsecModel(overhead_factor=-1.0)

@@ -1,0 +1,100 @@
+"""Tests for the result collector, VSA-3D validation paths, and the CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.__main__ import main as cli_main
+from repro.qr import assemble_factors, expand_plans
+from repro.qr.collector import ResultStore
+from repro.tiles import TileLayout, TileMatrix, random_dense
+from repro.trees import plan_all_panels
+from repro.util import VSAError
+
+
+class TestResultStore:
+    def make(self) -> ResultStore:
+        return ResultStore(TileLayout(24, 16, 8))
+
+    def test_put_tile_twice_rejected(self):
+        s = self.make()
+        s.put_tile(0, 0, np.zeros((8, 8)))
+        with pytest.raises(VSAError, match="collected twice"):
+            s.put_tile(0, 0, np.zeros((8, 8)))
+
+    def test_put_t_twice_rejected(self):
+        s = self.make()
+        s.put_t(("G", 0, 0), np.zeros((4, 8)))
+        with pytest.raises(VSAError, match="collected twice"):
+            s.put_t(("G", 0, 0), np.zeros((4, 8)))
+
+    def test_missing_tiles_geometry(self):
+        s = self.make()  # mt=3, nt=2
+        missing = s.missing_tiles()
+        # Lower trapezoid (5 tiles: (0,0),(1,0),(2,0),(1,1),(2,1)) plus the
+        # strictly-upper R tile (0,1).
+        assert set(missing) == {(0, 0), (1, 0), (2, 0), (1, 1), (2, 1), (0, 1)}
+        s.put_tile(0, 0, np.zeros((8, 8)))
+        assert (0, 0) not in s.missing_tiles()
+
+    def test_assemble_requires_all_tiles(self):
+        layout = TileLayout(16, 8, 8)
+        s = ResultStore(layout)
+        plans = plan_all_panels("flat", layout.mt, layout.nt)
+        ops = expand_plans(layout, plans)
+        with pytest.raises(VSAError, match="incomplete"):
+            assemble_factors(s, ops, 4)
+
+    def test_assemble_requires_all_ts(self):
+        layout = TileLayout(16, 8, 8)
+        s = ResultStore(layout)
+        s.put_tile(0, 0, np.zeros((8, 8)))
+        s.put_tile(1, 0, np.zeros((8, 8)))
+        plans = plan_all_panels("flat", layout.mt, layout.nt)
+        ops = expand_plans(layout, plans)
+        with pytest.raises(VSAError, match="missing T factor"):
+            assemble_factors(s, ops, 4)
+
+    def test_assembled_matches_reference(self, small_matrix):
+        """Round-trip: reference executor pieces -> store -> factors."""
+        from repro.qr.reference import execute_ops
+
+        tm = TileMatrix.from_dense(small_matrix, 8)
+        plans = plan_all_panels("hier", tm.mt, tm.nt, h=3)
+        ops = expand_plans(tm.layout, plans)
+        ref = execute_ops(tm, ops, 4)
+        store = ResultStore(tm.layout)
+        for j in range(tm.nt):
+            for i in range(tm.mt):
+                if i >= j:
+                    store.put_tile(i, j, tm.tile(i, j))  # reflector storage
+            for i in range(min(j, tm.mt)):
+                store.put_tile(i, j, tm.tile(i, j))  # final R rows
+        for rec in ref.records:
+            key = ("G", rec.i, rec.j) if rec.kind == "GEQRT" else ("E", rec.k2, rec.j)
+            store.put_t(key, rec.t)
+        rebuilt = assemble_factors(store, ops, 4)
+        np.testing.assert_array_equal(rebuilt.r_factor(), ref.r_factor())
+
+
+class TestCLI:
+    def test_memory_experiment(self, capsys):
+        assert cli_main(["memory", "--scale", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "Memory limits" in out and "max_m" in out
+
+    def test_csv_output(self, tmp_path, capsys):
+        assert cli_main(["memory", "--scale", "32", "--csv-dir", str(tmp_path)]) == 0
+        files = list(tmp_path.glob("*.csv"))
+        assert len(files) == 1
+        assert files[0].read_text().startswith("cores,")
+
+    def test_fig7_gantt(self, capsys):
+        assert cli_main(["fig7", "--scale", "32", "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "trace (shifted boundaries)" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["does-not-exist"])

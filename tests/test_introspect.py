@@ -1,0 +1,52 @@
+"""Tests for VSA introspection (stats + DOT export)."""
+
+from __future__ import annotations
+
+from repro.pulsar import VDP, VSA, vsa_stats, vsa_to_dot
+from repro.qr import build_qr_vsa
+from repro.tiles import TileMatrix, random_dense
+from repro.trees import plan_all_panels
+
+
+def small_qr_array():
+    tm = TileMatrix.from_dense(random_dense(40, 24, seed=90), 8)
+    plans = plan_all_panels("hier", tm.mt, tm.nt, h=3)
+    return build_qr_vsa(tm, plans, ib=4, total_workers=2)
+
+
+class TestStats:
+    def test_counts_match_builder(self):
+        arr = small_qr_array()
+        stats = vsa_stats(arr.vsa)
+        assert stats.n_vdps == arr.n_vdps
+        assert stats.n_channels == arr.n_channels
+        assert stats.total_firings > stats.n_vdps  # domain VDPs fire repeatedly
+        assert stats.disabled_channels > 0  # streamed member inputs start off
+
+    def test_summary_renders(self):
+        stats = vsa_stats(small_qr_array().vsa)
+        assert "VDPs" in stats.summary() and "channels" in stats.summary()
+
+    def test_simple_vsa(self):
+        vsa = VSA()
+        vsa.add_vdp(VDP((0,), 2, lambda v: None, n_out=1))
+        vsa.add_vdp(VDP((1,), 2, lambda v: None, n_in=1))
+        vsa.connect((0,), 0, (1,), 0, 128)
+        stats = vsa_stats(vsa)
+        assert (stats.n_vdps, stats.n_channels, stats.total_firings) == (2, 1, 4)
+        assert stats.max_packet_bytes == 128
+
+
+class TestDot:
+    def test_dot_structure(self):
+        arr = small_qr_array()
+        dot = vsa_to_dot(arr.vsa)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert "->" in dot
+        assert "style=dashed" in dot  # disabled channels are dashed
+
+    def test_truncation(self):
+        arr = small_qr_array()
+        dot = vsa_to_dot(arr.vsa, max_vdps=3)
+        assert "truncated at 3" in dot

@@ -1,0 +1,81 @@
+"""Unit tests for the machine performance models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernels.flops import kernel_flops
+from repro.machine import MachineModel, generic_cluster, kraken
+from repro.util import ConfigurationError
+
+
+class TestKrakenPreset:
+    def test_topology(self):
+        k = kraken()
+        assert k.cores_per_node == 12
+        assert k.workers_per_node == 11
+        assert k.core_peak_gflops == 10.4  # 2.6 GHz x 4 flops/cycle
+
+    def test_nodes_for_cores(self):
+        k = kraken()
+        assert k.nodes_for_cores(9216) == 768
+        assert k.workers_for_cores(9216) == 768 * 11
+
+    def test_core_count_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            kraken().nodes_for_cores(100)
+
+    def test_all_kernels_have_efficiency(self):
+        k = kraken()
+        for kind in ("GEQRT", "ORMQR", "TSQRT", "TSMQR", "TTQRT", "TTMQR"):
+            assert 0.0 < k.kernel_efficiency[kind] <= 1.0
+
+    def test_tt_kernels_slowest(self):
+        """The paper's 'special kernels which may not be optimized'."""
+        eff = kraken().kernel_efficiency
+        assert eff["TTQRT"] < eff["TSQRT"]
+        assert eff["TTMQR"] < eff["TSMQR"]
+
+
+class TestCosts:
+    def test_kernel_seconds_matches_flops(self):
+        k = kraken()
+        t = k.kernel_seconds("TSMQR", 192, 192, 192, 48)
+        expected = kernel_flops("TSMQR", 192, 192, 192, 48) / (
+            k.kernel_efficiency["TSMQR"] * k.core_peak_gflops * 1e9
+        )
+        assert t == pytest.approx(expected)
+
+    def test_kernel_times_realistic_magnitude(self):
+        """nb=192 tile kernels are single-digit milliseconds on Kraken."""
+        k = kraken()
+        for kind in ("GEQRT", "TSQRT", "TSMQR", "TTQRT", "TTMQR"):
+            t = k.kernel_seconds(kind, 192, 192, 192, 48)
+            assert 1e-4 < t < 5e-2
+
+    def test_wire_seconds_components(self):
+        k = kraken()
+        small = k.wire_seconds(8)
+        large = k.wire_seconds(8 * 192 * 192)
+        assert small >= k.latency_s
+        assert large - small == pytest.approx((8 * 192 * 192 - 8) / k.bandwidth_bps)
+
+    def test_with_overrides(self):
+        k = kraken().with_overrides(latency_s=1e-6)
+        assert k.latency_s == 1e-6
+        assert k.cores_per_node == 12  # untouched
+
+
+class TestValidation:
+    def test_proxy_must_leave_workers(self):
+        with pytest.raises(ConfigurationError):
+            MachineModel(name="bad", cores_per_node=2, proxy_per_node=2)
+
+    def test_missing_kernel_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            MachineModel(name="bad", kernel_efficiency={"GEQRT": 0.5})
+
+    def test_generic_cluster(self):
+        g = generic_cluster(cores_per_node=16, core_peak_gflops=20.0)
+        assert g.workers_per_node == 15
+        assert g.nodes_for_cores(64) == 4

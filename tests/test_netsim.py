@@ -1,0 +1,168 @@
+"""Unit tests for the simulated-MPI fabric."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.netsim import Fabric, payload_nbytes
+from repro.util import NetworkError, TagError
+
+
+class TestBasicMessaging:
+    def test_send_receive(self):
+        f = Fabric(2)
+        req = f.isend(0, 1, tag=5, payload=b"hello")
+        assert req.test()
+        msg = f.poll(1)
+        assert msg is not None
+        assert (msg.source, msg.tag, msg.payload) == (0, 5, b"hello")
+
+    def test_poll_empty_returns_none(self):
+        assert Fabric(2).poll(0) is None
+
+    def test_fifo_per_stream(self):
+        f = Fabric(2)
+        for i in range(10):
+            f.isend(0, 1, tag=3, payload=i)
+        got = [f.poll(1).payload for _ in range(10)]
+        assert got == list(range(10))
+
+    def test_self_send(self):
+        f = Fabric(1)
+        f.isend(0, 0, tag=0, payload="x")
+        assert f.poll(0).payload == "x"
+
+    def test_drain(self):
+        f = Fabric(2)
+        for i in range(5):
+            f.isend(1, 0, tag=i, payload=i)
+        msgs = f.drain(0)
+        assert [m.tag for m in msgs] == list(range(5))
+        assert f.poll(0) is None
+
+
+class TestIsolation:
+    def test_numpy_payload_copied(self):
+        f = Fabric(2)
+        arr = np.arange(4.0)
+        f.isend(0, 1, tag=0, payload=arr)
+        arr[0] = 99.0  # sender mutates after the send
+        msg = f.poll(1)
+        assert msg.payload[0] == 0.0
+
+    def test_nested_payload_copied(self):
+        f = Fabric(2)
+        inner = np.ones(3)
+        f.isend(0, 1, tag=0, payload=("G", inner, {"t": inner}))
+        inner[:] = -1.0
+        kind, a, d = f.poll(1).payload
+        assert kind == "G"
+        assert np.all(a == 1.0) and np.all(d["t"] == 1.0)
+
+
+class TestValidation:
+    def test_bad_rank(self):
+        f = Fabric(2)
+        with pytest.raises(NetworkError):
+            f.isend(0, 2, tag=0, payload=1)
+        with pytest.raises(NetworkError):
+            f.poll(-1)
+
+    def test_tag_range_enforced(self):
+        f = Fabric(2, max_tag=16)
+        with pytest.raises(TagError):
+            f.isend(0, 1, tag=16, payload=1)
+        f.isend(0, 1, tag=15, payload=1)  # boundary ok
+
+    def test_shutdown_refuses_sends(self):
+        f = Fabric(2)
+        f.shutdown()
+        with pytest.raises(NetworkError):
+            f.isend(0, 1, tag=0, payload=1)
+
+
+class TestAccounting:
+    def test_counters(self):
+        f = Fabric(2)
+        f.isend(0, 1, tag=0, payload=np.zeros(10))
+        f.isend(0, 1, tag=0, payload=np.zeros(10))
+        assert f.sent_messages == 2
+        assert f.sent_bytes == 160
+
+    def test_payload_nbytes(self):
+        assert payload_nbytes(np.zeros((3, 4))) == 96
+        assert payload_nbytes([np.zeros(2), np.zeros(3)]) == 40
+        assert payload_nbytes(b"abcd") == 4
+        assert payload_nbytes({"a": np.zeros(1)}) == 8
+        assert payload_nbytes(7) == 64  # nominal envelope
+
+    def test_quiescence(self):
+        f = Fabric(2)
+        assert f.quiescent()
+        f.isend(0, 1, tag=0, payload=1)
+        assert not f.quiescent()
+        f.poll(1)
+        assert f.quiescent()
+
+
+class TestJitter:
+    def test_jitter_preserves_stream_order(self):
+        f = Fabric(2, jitter=8.0, seed=0)
+        for i in range(50):
+            f.isend(0, 1, tag=2, payload=i)
+        f.flush_jitter()
+        got = [m.payload for m in f.drain(1)]
+        assert got == list(range(50))
+
+    def test_jitter_delays_delivery(self):
+        f = Fabric(2, jitter=100.0, seed=1)
+        f.isend(0, 1, tag=0, payload="late")
+        # The artificial delivery time is in the future on the first poll.
+        first = f.poll(1)
+        f.flush_jitter()
+        second = f.poll(1)
+        assert first is None and second is not None
+
+    def test_pending_count_includes_in_flight(self):
+        f = Fabric(2, jitter=100.0, seed=2)
+        f.isend(0, 1, tag=0, payload=1)
+        assert f.pending_count(1) == 1
+
+
+class TestRequests:
+    def test_cancel_before_completion_is_noop_after_done(self):
+        f = Fabric(2)
+        req = f.isend(0, 1, tag=0, payload=1)
+        req.cancel()  # already complete: stays sent
+        assert not req.cancelled
+        assert f.poll(1) is not None
+
+    def test_wait(self):
+        f = Fabric(2)
+        req = f.isend(0, 1, tag=0, payload=1)
+        assert req.wait(timeout=0.1)
+
+
+class TestThreadSafety:
+    def test_concurrent_senders(self):
+        """Many threads sending to one receiver: nothing lost, FIFO kept."""
+        f = Fabric(3)
+        n = 200
+
+        def sender(rank):
+            for i in range(n):
+                f.isend(rank, 2, tag=rank, payload=i)
+
+        threads = [threading.Thread(target=sender, args=(r,)) for r in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        per_src = {0: [], 1: []}
+        for m in f.drain(2):
+            per_src[m.source].append(m.payload)
+        assert per_src[0] == list(range(n))
+        assert per_src[1] == list(range(n))

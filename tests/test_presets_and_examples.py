@@ -1,0 +1,63 @@
+"""Preset environment handling and example smoke tests."""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+from repro.experiments import active_config, full_scale_requested, scaled
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestEnvironmentSwitch:
+    def test_default_is_scaled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert not full_scale_requested()
+        assert active_config(default_factor=8).name == "paper/8"
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes"])
+    def test_full_scale_opt_in(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_FULL", value)
+        assert full_scale_requested()
+        assert active_config().name == "paper"
+
+    def test_garbage_value_means_scaled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "maybe")
+        assert not full_scale_requested()
+
+    def test_scaled_validates(self):
+        with pytest.raises(Exception):
+            scaled(0)
+
+
+class TestExampleSmoke:
+    """Each example's main() must run clean (they self-assert)."""
+
+    def test_custom_systolic_array(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["custom_systolic_array.py"])
+        load_example("custom_systolic_array").main()
+        assert "OK" in capsys.readouterr().out
+
+    def test_quickstart(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "bit-identical: True" in out
+
+    def test_least_squares_fitting(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["least_squares_fitting.py"])
+        load_example("least_squares_fitting").main()
+        out = capsys.readouterr().out
+        assert "more accurate" in out

@@ -1,0 +1,257 @@
+"""Unit tests for PULSAR core abstractions: packets, channels, VDPs, VSAs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pulsar import VDP, VSA, Channel, Packet
+from repro.pulsar.channel import ChannelState
+from repro.util import (
+    ChannelClosedError,
+    ChannelDisabledError,
+    ChannelError,
+    VDPError,
+    VSAError,
+)
+
+
+def noop(vdp):
+    pass
+
+
+class TestPacket:
+    def test_nbytes_computed(self):
+        assert Packet.of(np.zeros(8)).nbytes == 64
+
+    def test_nbytes_explicit(self):
+        assert Packet(data=None, nbytes=12).nbytes == 12
+
+    def test_label(self):
+        assert Packet.of(1, label="V").label == "V"
+
+
+class TestChannel:
+    def make(self, **kw) -> Channel:
+        return Channel(64, (0,), 0, (1,), 0, **kw)
+
+    def test_fifo(self):
+        ch = self.make()
+        ch.push(Packet.of(b"a"))
+        ch.push(Packet.of(b"b"))
+        assert ch.pop().data == b"a"
+        assert ch.pop().data == b"b"
+
+    def test_len_and_peek(self):
+        ch = self.make()
+        assert len(ch) == 0 and ch.peek() is None
+        ch.push(Packet.of(b"x"))
+        assert len(ch) == 1
+        assert ch.peek().data == b"x"
+        assert len(ch) == 1  # peek does not consume
+
+    def test_max_bytes_enforced(self):
+        ch = self.make()
+        with pytest.raises(ChannelError, match="exceeds channel maximum"):
+            ch.push(Packet.of(np.zeros(100)))
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(ChannelError, match="empty"):
+            self.make().pop()
+
+    def test_disable_keeps_packets(self):
+        ch = self.make()
+        ch.push(Packet.of(b"kept"))
+        ch.disable()
+        assert ch.state == ChannelState.DISABLED
+        with pytest.raises(ChannelDisabledError):
+            ch.pop()
+        ch.enable()
+        assert ch.pop().data == b"kept"
+
+    def test_destroy_is_final(self):
+        ch = self.make()
+        ch.destroy()
+        for op in (ch.enable, ch.disable, ch.pop):
+            with pytest.raises(ChannelClosedError):
+                op()
+        with pytest.raises(ChannelClosedError):
+            ch.push(Packet.of(b"x"))
+
+    def test_key_identity(self):
+        a = Channel(64, (0,), 1, (1,), 2)
+        b = Channel(64, (0,), 1, (1,), 2)
+        assert a.key() == b.key()
+
+
+class TestVDP:
+    def test_tuple_validation(self):
+        with pytest.raises(VDPError):
+            VDP((), 1, noop)
+        with pytest.raises(VDPError):
+            VDP("x", 1, noop)
+        with pytest.raises(VDPError):
+            VDP((1.5,), 1, noop)
+
+    def test_counter_validation(self):
+        with pytest.raises(Exception):
+            VDP((0,), 0, noop)
+
+    def test_insert_channel_slot_consistency(self):
+        vdp = VDP((1,), 1, noop, n_in=2, n_out=1)
+        ch = Channel(64, (0,), 0, (1,), 1)
+        vdp.insert_channel(ch, "in", 1)
+        assert vdp.inputs[1] is ch
+        # Wrong slot or wrong endpoint must be rejected.
+        with pytest.raises(VDPError):
+            vdp.insert_channel(Channel(64, (0,), 0, (1,), 0), "in", 1)
+        with pytest.raises(VDPError):
+            vdp.insert_channel(Channel(64, (0,), 0, (9,), 0), "in", 0)
+        with pytest.raises(VDPError):
+            vdp.insert_channel(Channel(64, (0,), 0, (1,), 0), "sideways", 0)
+
+    def test_insert_duplicate_slot(self):
+        vdp = VDP((1,), 1, noop, n_in=1)
+        vdp.insert_channel(Channel(64, (0,), 0, (1,), 0), "in", 0)
+        with pytest.raises(VDPError, match="already occupied"):
+            vdp.insert_channel(Channel(64, (0,), 0, (1,), 0), "in", 0)
+
+    def test_ready_source_vdp(self):
+        assert VDP((0,), 1, noop).ready()
+
+    def test_ready_requires_all_enabled_inputs(self):
+        vdp = VDP((1,), 1, noop, n_in=2)
+        a = Channel(64, (0,), 0, (1,), 0)
+        b = Channel(64, (0,), 1, (1,), 1)
+        vdp.insert_channel(a, "in", 0)
+        vdp.insert_channel(b, "in", 1)
+        assert not vdp.ready()
+        a.push(Packet.of(b"x"))
+        assert not vdp.ready()
+        b.push(Packet.of(b"y"))
+        assert vdp.ready()
+
+    def test_ready_ignores_disabled_channels(self):
+        vdp = VDP((1,), 1, noop, n_in=2)
+        a = Channel(64, (0,), 0, (1,), 0)
+        b = Channel(64, (0,), 1, (1,), 1)
+        b.disable()
+        vdp.insert_channel(a, "in", 0)
+        vdp.insert_channel(b, "in", 1)
+        a.push(Packet.of(b"x"))
+        assert vdp.ready()  # disabled b does not block
+
+    def test_ready_false_when_all_inputs_disabled(self):
+        vdp = VDP((1,), 1, noop, n_in=1)
+        ch = Channel(64, (0,), 0, (1,), 0)
+        ch.disable()
+        vdp.insert_channel(ch, "in", 0)
+        ch.queue.append(Packet.of(b"x"))
+        assert not vdp.ready()
+
+    def test_ready_false_when_destroyed_or_exhausted(self):
+        vdp = VDP((0,), 1, noop)
+        vdp.counter = 0
+        assert not vdp.ready()
+
+    def test_channel_ops_require_runtime(self):
+        vdp = VDP((1,), 1, noop, n_in=1)
+        vdp.insert_channel(Channel(64, (0,), 0, (1,), 0), "in", 0)
+        with pytest.raises(VDPError, match="not attached"):
+            vdp.read(0)
+
+    def test_missing_slot_errors(self):
+        vdp = VDP((1,), 1, noop, n_in=1, n_out=1)
+        with pytest.raises(VDPError, match="no input channel"):
+            vdp.read(0)
+
+
+class TestVSA:
+    def test_duplicate_tuple_rejected(self):
+        vsa = VSA()
+        vsa.add_vdp(VDP((0,), 1, noop))
+        with pytest.raises(VSAError, match="duplicate"):
+            vsa.add_vdp(VDP((0,), 1, noop))
+
+    def test_connect_requires_existing_vdps(self):
+        vsa = VSA()
+        vsa.add_vdp(VDP((0,), 1, noop, n_out=1))
+        with pytest.raises(VSAError, match="unknown VDP"):
+            vsa.connect((0,), 0, (1,), 0, 64)
+
+    def test_connect_wires_both_sides(self):
+        vsa = VSA()
+        vsa.add_vdp(VDP((0,), 1, noop, n_out=1))
+        vsa.add_vdp(VDP((1,), 1, noop, n_in=1))
+        ch = vsa.connect((0,), 0, (1,), 0, 64)
+        assert vsa.vdps[(0,)].outputs[0] is ch
+        assert vsa.vdps[(1,)].inputs[0] is ch
+
+    def test_connect_disabled(self):
+        vsa = VSA()
+        vsa.add_vdp(VDP((0,), 1, noop, n_out=1))
+        vsa.add_vdp(VDP((1,), 1, noop, n_in=1))
+        ch = vsa.connect((0,), 0, (1,), 0, 64, enabled=False)
+        assert not ch.enabled
+
+    def test_two_sided_declaration_fused(self):
+        """The paper's Figure 9 style: each side declares the channel."""
+        vsa = VSA()
+        src = VDP((0,), 1, noop, n_out=1)
+        dst = VDP((1,), 1, noop, n_in=1)
+        src.insert_channel(Channel(64, (0,), 0, (1,), 0), "out", 0)
+        dst.insert_channel(Channel(64, (0,), 0, (1,), 0), "in", 0)
+        vsa.add_vdp(src)
+        vsa.add_vdp(dst)
+        channels = vsa.fuse_channels()
+        assert len(channels) == 1
+        assert src.outputs[0] is dst.inputs[0]
+
+    def test_fuse_rejects_mismatched_sizes(self):
+        vsa = VSA()
+        src = VDP((0,), 1, noop, n_out=1)
+        dst = VDP((1,), 1, noop, n_in=1)
+        src.insert_channel(Channel(64, (0,), 0, (1,), 0), "out", 0)
+        dst.insert_channel(Channel(128, (0,), 0, (1,), 0), "in", 0)
+        vsa.add_vdp(src)
+        vsa.add_vdp(dst)
+        with pytest.raises(VSAError, match="different"):
+            vsa.fuse_channels()
+
+    def test_fuse_rejects_one_sided_declaration(self):
+        vsa = VSA()
+        src = VDP((0,), 1, noop, n_out=1)
+        dst = VDP((1,), 1, noop, n_in=1)
+        src.insert_channel(Channel(64, (0,), 0, (1,), 0), "out", 0)
+        vsa.add_vdp(src)
+        vsa.add_vdp(dst)
+        with pytest.raises(VSAError, match="one side only"):
+            vsa.fuse_channels()
+
+    def test_fuse_rejects_missing_vdp(self):
+        vsa = VSA()
+        src = VDP((0,), 1, noop, n_out=1)
+        src.insert_channel(Channel(64, (0,), 0, (9,), 0), "out", 0)
+        vsa.add_vdp(src)
+        with pytest.raises(VSAError, match="missing VDP"):
+            vsa.fuse_channels()
+
+    def test_preload(self):
+        vsa = VSA()
+        vsa.add_vdp(VDP((0,), 1, noop, n_out=1))
+        vsa.add_vdp(VDP((1,), 1, noop, n_in=1))
+        ch = vsa.connect((0,), 0, (1,), 0, 64)
+        vsa.preload((1,), 0, b"init")
+        vsa.fuse_channels()
+        assert ch.pop().data == b"init"
+
+    def test_preload_missing_channel(self):
+        vsa = VSA()
+        vsa.add_vdp(VDP((1,), 1, noop, n_in=1))
+        vsa.preload((1,), 0, b"x")
+        with pytest.raises(VSAError, match="preload"):
+            vsa.fuse_channels()
+
+    def test_params_shared(self):
+        vsa = VSA(params={"ib": 4})
+        assert vsa.params["ib"] == 4

@@ -1,0 +1,227 @@
+"""Integration tests for the threaded PULSAR Runtime (PRT)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pulsar import PRT, PRTConfig, VDP, VSA, Packet
+from repro.util import ConfigurationError, DeadlockError, RuntimeStateError, VSAError
+
+
+def build_pipeline(results: list, counter: int = 5) -> VSA:
+    """source -> square -> sink over three VDPs."""
+
+    def src(vdp):
+        vdp.write(0, Packet.of(float(vdp.firing_index)))
+
+    def square(vdp):
+        vdp.write(0, Packet.of(vdp.read(0).data ** 2))
+
+    def sink(vdp):
+        results.append(vdp.read(0).data)
+
+    vsa = VSA()
+    vsa.add_vdp(VDP((0,), counter, src, n_out=1))
+    vsa.add_vdp(VDP((1,), counter, square, n_in=1, n_out=1))
+    vsa.add_vdp(VDP((2,), counter, sink, n_in=1))
+    vsa.connect((0,), 0, (1,), 0, 64)
+    vsa.connect((1,), 0, (2,), 0, 64)
+    return vsa
+
+
+class TestConfig:
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            PRTConfig(policy="eager")
+
+    def test_total_workers(self):
+        assert PRTConfig(n_nodes=3, workers_per_node=4).total_workers == 12
+
+
+class TestSingleNode:
+    @pytest.mark.parametrize("policy", ["lazy", "aggressive"])
+    def test_pipeline(self, policy):
+        results: list = []
+        stats = build_pipeline(results).run(policy=policy, deadlock_timeout=10)
+        assert results == [0.0, 1.0, 4.0, 9.0, 16.0]
+        assert stats.firings == 15
+        assert stats.messages_sent == 0  # all local
+
+    def test_counter_limits_firings(self):
+        fired = []
+
+        def body(vdp):
+            fired.append(vdp.firing_index)
+
+        vsa = VSA()
+        vsa.add_vdp(VDP((0,), 3, body))
+        stats = vsa.run(deadlock_timeout=10)
+        assert fired == [0, 1, 2]
+        assert stats.firings == 3
+
+    def test_multiple_workers(self):
+        results: list = []
+        stats = build_pipeline(results).run(workers_per_node=3, deadlock_timeout=10)
+        assert sorted(results) == [0.0, 1.0, 4.0, 9.0, 16.0]
+        assert sum(stats.per_worker_firings.values()) == 15
+
+    def test_empty_vsa_rejected(self):
+        with pytest.raises(VSAError):
+            VSA().run()
+
+    def test_run_twice_rejected(self):
+        vsa = VSA()
+        vsa.add_vdp(VDP((0,), 1, lambda v: None))
+        prt = PRT(vsa, PRTConfig())
+        prt.run()
+        with pytest.raises(RuntimeStateError):
+            prt.run()
+
+
+class TestMultiNode:
+    def test_cross_node_pipeline(self):
+        results: list = []
+        vsa = build_pipeline(results)
+        stats = vsa.run(
+            n_nodes=3,
+            workers_per_node=1,
+            mapping=lambda t: t[0],
+            deadlock_timeout=10,
+        )
+        assert results == [0.0, 1.0, 4.0, 9.0, 16.0]
+        assert stats.messages_sent == 10  # both hops are remote
+        assert stats.stray_messages == 0
+
+    def test_cross_node_with_jitter(self):
+        results: list = []
+        vsa = build_pipeline(results, counter=8)
+        vsa.run(
+            n_nodes=3,
+            workers_per_node=1,
+            mapping=lambda t: t[0],
+            jitter=5.0,
+            seed=7,
+            deadlock_timeout=15,
+        )
+        assert results == [float(i) ** 2 for i in range(8)]
+
+    def test_mapping_out_of_range_rejected(self):
+        vsa = VSA()
+        vsa.add_vdp(VDP((0,), 1, lambda v: None))
+        with pytest.raises(VSAError, match="outside"):
+            PRT(vsa, PRTConfig(), mapping=lambda t: 99)
+
+    def test_numpy_payload_crosses_nodes(self):
+        out = []
+
+        def src(vdp):
+            vdp.write(0, Packet.of(np.arange(4.0)))
+
+        def sink(vdp):
+            out.append(vdp.read(0).data)
+
+        vsa = VSA()
+        vsa.add_vdp(VDP((0,), 1, src, n_out=1))
+        vsa.add_vdp(VDP((1,), 1, sink, n_in=1))
+        vsa.connect((0,), 0, (1,), 0, 64)
+        vsa.run(n_nodes=2, workers_per_node=1, mapping=lambda t: t[0], deadlock_timeout=10)
+        np.testing.assert_array_equal(out[0], np.arange(4.0))
+
+
+class TestDynamicChannels:
+    def test_enable_disable_protocol(self):
+        """A consumer switching between two producers via channel state."""
+        seen = []
+
+        def producer(val):
+            def body(vdp):
+                vdp.write(0, Packet.of(val))
+
+            return body
+
+        def consumer(vdp):
+            slot = vdp.firing_index  # 0 then 1
+            seen.append(vdp.read(slot).data)
+            if slot == 0:
+                vdp.disable_input(0)
+                vdp.enable_input(1)
+
+        vsa = VSA()
+        vsa.add_vdp(VDP((0,), 1, producer("a"), n_out=1))
+        vsa.add_vdp(VDP((1,), 1, producer("b"), n_out=1))
+        vsa.add_vdp(VDP((2,), 2, consumer, n_in=2))
+        vsa.connect((0,), 0, (2,), 0, 64)
+        vsa.connect((1,), 0, (2,), 1, 64, enabled=False)
+        vsa.run(deadlock_timeout=10)
+        assert seen == ["a", "b"]
+
+    def test_bypass_forward(self):
+        """vdp.forward pushes the same packet object downstream."""
+        got = []
+
+        def src(vdp):
+            vdp.write(0, Packet.of("payload", label="orig"))
+
+        def relay(vdp):
+            pkt = vdp.forward(0, 0)
+            got.append(("relay", pkt.label))
+
+        def sink(vdp):
+            got.append(("sink", vdp.read(0).label))
+
+        vsa = VSA()
+        vsa.add_vdp(VDP((0,), 1, src, n_out=1))
+        vsa.add_vdp(VDP((1,), 1, relay, n_in=1, n_out=1))
+        vsa.add_vdp(VDP((2,), 1, sink, n_in=1))
+        vsa.connect((0,), 0, (1,), 0, 64)
+        vsa.connect((1,), 0, (2,), 0, 64)
+        vsa.run(deadlock_timeout=10)
+        assert ("relay", "orig") in got and ("sink", "orig") in got
+
+
+class TestFailureModes:
+    def test_user_exception_propagates(self):
+        def bad(vdp):
+            raise ValueError("kernel exploded")
+
+        vsa = VSA()
+        vsa.add_vdp(VDP((0,), 1, bad))
+        with pytest.raises(ValueError, match="kernel exploded"):
+            vsa.run(deadlock_timeout=10)
+
+    def test_deadlock_detected(self):
+        """Two VDPs each waiting for the other never fire -> DeadlockError."""
+
+        def body(vdp):  # pragma: no cover - never fires
+            vdp.read(0)
+
+        vsa = VSA()
+        vsa.add_vdp(VDP((0,), 1, body, n_in=1, n_out=1))
+        vsa.add_vdp(VDP((1,), 1, body, n_in=1, n_out=1))
+        vsa.connect((0,), 0, (1,), 0, 64)
+        vsa.connect((1,), 0, (0,), 0, 64)
+        with pytest.raises(DeadlockError, match="no progress"):
+            vsa.run(deadlock_timeout=0.5)
+
+    def test_deadlock_report_lists_vdps(self):
+        def body(vdp):  # pragma: no cover
+            pass
+
+        vsa = VSA()
+        vsa.add_vdp(VDP((7, 7), 1, body, n_in=1, n_out=1))
+        vsa.add_vdp(VDP((8, 8), 1, body, n_in=1, n_out=1))
+        vsa.connect((7, 7), 0, (8, 8), 0, 64)
+        vsa.connect((8, 8), 0, (7, 7), 0, 64)
+        with pytest.raises(DeadlockError, match=r"VDP\(7, 7\)"):
+            vsa.run(deadlock_timeout=0.5)
+
+
+class TestStats:
+    def test_stats_fields(self):
+        results: list = []
+        stats = build_pipeline(results).run(deadlock_timeout=10)
+        assert stats.elapsed_s > 0
+        assert stats.n_nodes == 1
+        assert stats.policy == "lazy"
+        assert stats.bytes_sent == 0

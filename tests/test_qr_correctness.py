@@ -1,0 +1,128 @@
+"""Numerical correctness of the full tile QR across trees and shapes.
+
+These are the library's ground-truth tests: every tree, shifted and fixed
+boundaries, ragged tile edges, ill-conditioned inputs, and the least-squares
+solver are validated against NumPy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import lstsq, qr_factor
+from repro.tiles import graded_conditioned, least_squares_problem, random_dense
+
+TREES = ("flat", "binary", "hier", "greedy")
+
+
+@pytest.mark.parametrize("tree", TREES)
+@pytest.mark.parametrize("shifted", [True, False])
+class TestAllTrees:
+    def test_residual_and_orthogonality(self, tree, shifted):
+        a = random_dense(40, 24, seed=42)
+        f = qr_factor(a, nb=8, ib=4, tree=tree, h=3, shifted=shifted)
+        metrics = f.residuals(a)
+        assert metrics["factorization"] < 1e-13
+        assert metrics["orthogonality"] < 1e-13
+
+    def test_ragged_edges(self, tree, shifted):
+        a = random_dense(37, 21, seed=5)
+        f = qr_factor(a, nb=8, ib=4, tree=tree, h=3, shifted=shifted)
+        metrics = f.residuals(a)
+        assert metrics["factorization"] < 1e-13
+        assert metrics["orthogonality"] < 1e-13
+
+
+@pytest.mark.parametrize("tree", TREES)
+class TestShapes:
+    def test_square(self, tree):
+        a = random_dense(32, 32, seed=1)
+        f = qr_factor(a, nb=8, ib=4, tree=tree, h=2)
+        assert f.residuals(a)["factorization"] < 1e-13
+
+    def test_single_tile_column(self, tree):
+        a = random_dense(48, 8, seed=2)
+        f = qr_factor(a, nb=8, ib=4, tree=tree, h=3)
+        assert f.residuals(a)["factorization"] < 1e-13
+
+    def test_single_tile(self, tree):
+        a = random_dense(6, 4, seed=3)
+        f = qr_factor(a, nb=8, ib=4, tree=tree)
+        assert f.residuals(a)["factorization"] < 1e-13
+
+    def test_very_tall(self, tree):
+        a = random_dense(128, 8, seed=4)
+        f = qr_factor(a, nb=8, ib=4, tree=tree, h=4)
+        assert f.residuals(a)["factorization"] < 1e-13
+
+
+class TestRFactorProperties:
+    def test_r_matches_numpy_up_to_signs(self):
+        a = random_dense(64, 16, seed=6)
+        r_ours = qr_factor(a, nb=8, ib=4, tree="hier", h=3).R
+        r_np = np.linalg.qr(a, mode="r")
+        np.testing.assert_allclose(np.abs(r_ours), np.abs(r_np), atol=1e-11)
+
+    def test_r_diagonal_nonzero_for_full_rank(self):
+        a = random_dense(40, 12, seed=7)
+        r = qr_factor(a, nb=8, ib=4, tree="binary").R
+        assert np.all(np.abs(np.diag(r)) > 1e-10)
+
+    def test_trees_agree_on_r_magnitude(self):
+        """All trees compute the same R up to column signs."""
+        a = random_dense(48, 16, seed=8)
+        rs = [np.abs(qr_factor(a, nb=8, ib=4, tree=t, h=3).R) for t in TREES]
+        for other in rs[1:]:
+            np.testing.assert_allclose(rs[0], other, atol=1e-11)
+
+
+class TestConditioning:
+    @pytest.mark.parametrize("cond", [1e3, 1e9])
+    def test_ill_conditioned_backward_stable(self, cond):
+        a = graded_conditioned(60, 12, cond=cond, seed=9)
+        f = qr_factor(a, nb=8, ib=4, tree="hier", h=3)
+        m = f.residuals(a)
+        # Backward error is condition-independent for Householder QR.
+        assert m["factorization"] < 1e-13
+        assert m["orthogonality"] < 1e-13
+
+
+class TestLeastSquares:
+    def test_recovers_planted_solution(self):
+        a, b, x_true = least_squares_problem(200, 10, noise=0.0, seed=10)
+        x = lstsq(a, b, nb=16, ib=4, tree="hier", h=3)
+        np.testing.assert_allclose(x, x_true, atol=1e-10)
+
+    def test_matches_numpy_lstsq(self):
+        a, b, _ = least_squares_problem(120, 16, noise=1e-2, seed=11)
+        x = lstsq(a, b, nb=16, ib=4, tree="binary")
+        x_np = np.linalg.lstsq(a, b, rcond=None)[0]
+        np.testing.assert_allclose(x, x_np, atol=1e-9)
+
+    def test_residual_orthogonal_to_range(self):
+        a, b, _ = least_squares_problem(100, 8, noise=0.1, seed=12)
+        x = lstsq(a, b, nb=8, ib=4, tree="flat")
+        r = b - a @ x
+        np.testing.assert_allclose(a.T @ r, 0.0, atol=1e-9)
+
+
+class TestQOperations:
+    def test_q_matmul_and_qt_matmul_vectors(self):
+        a = random_dense(40, 24, seed=13)
+        f = qr_factor(a, nb=8, ib=4, tree="hier", h=3)
+        v = np.arange(40.0)
+        np.testing.assert_allclose(f.q_matmul(f.qt_matmul(v)), v, atol=1e-11)
+
+    def test_q_thin_columns_orthonormal(self):
+        a = random_dense(40, 24, seed=14)
+        q = qr_factor(a, nb=8, ib=4, tree="greedy").q_thin()
+        assert q.shape == (40, 24)
+        np.testing.assert_allclose(q.T @ q, np.eye(24), atol=1e-12)
+
+    def test_qt_a_equals_r(self):
+        a = random_dense(40, 24, seed=15)
+        f = qr_factor(a, nb=8, ib=4, tree="hier", h=3)
+        qta = f.qt_matmul(a)
+        np.testing.assert_allclose(qta[:24, :], f.R, atol=1e-11)
+        np.testing.assert_allclose(qta[24:, :], 0.0, atol=1e-11)

@@ -1,0 +1,97 @@
+"""Tests for the 2D domino-QR array (paper Figure 9).
+
+The domino array is an independent implementation of the flat tree; it
+must produce bit-identical factors to both the serial reference and the
+3D array in flat mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import qr_factor
+from repro.qr import assemble_factors, expand_plans
+from repro.qr.domino import build_domino_vsa
+from repro.tiles import TileMatrix, random_dense
+from repro.trees import plan_all_panels
+from repro.util import ConfigurationError
+
+
+def run_domino(a: np.ndarray, nb=8, ib=4, workers=2, **run_kw):
+    tm = TileMatrix.from_dense(a, nb)
+    arr = build_domino_vsa(tm, ib=ib, total_workers=workers)
+    arr.run(deadlock_timeout=30, **run_kw)
+    plans = plan_all_panels("flat", tm.mt, tm.nt)
+    ops = expand_plans(tm.layout, plans)
+    return arr, assemble_factors(arr.store, ops, ib)
+
+
+class TestDominoCorrectness:
+    def test_bit_identical_to_serial_flat(self, small_matrix):
+        ser = qr_factor(small_matrix, nb=8, ib=4, tree="flat")
+        _, fac = run_domino(small_matrix)
+        np.testing.assert_array_equal(ser.R, fac.r_factor())
+
+    def test_bit_identical_to_3d_array_flat(self, small_matrix):
+        pul = qr_factor(
+            small_matrix, nb=8, ib=4, tree="flat", backend="pulsar", workers_per_node=2
+        )
+        _, fac = run_domino(small_matrix)
+        np.testing.assert_array_equal(pul.R, fac.r_factor())
+
+    def test_q_application(self, small_matrix):
+        _, fac = run_domino(small_matrix)
+        q = fac.q_thin()
+        resid = np.linalg.norm(small_matrix - q @ fac.r_factor())
+        assert resid / np.linalg.norm(small_matrix) < 1e-13
+
+    def test_ragged(self):
+        a = random_dense(37, 21, seed=31)
+        _, fac = run_domino(a)
+        q = fac.q_thin()
+        assert np.linalg.norm(a - q @ fac.r_factor()) / np.linalg.norm(a) < 1e-13
+
+    def test_multi_node(self, small_matrix):
+        ser = qr_factor(small_matrix, nb=8, ib=4, tree="flat")
+        _, fac = run_domino(small_matrix, workers=4, n_nodes=2)
+        np.testing.assert_array_equal(ser.R, fac.r_factor())
+
+    def test_single_panel(self):
+        a = random_dense(32, 8, seed=32)
+        _, fac = run_domino(a)
+        q = fac.q_thin()
+        assert np.linalg.norm(a - q @ fac.r_factor()) / np.linalg.norm(a) < 1e-13
+
+
+class TestDominoStructure:
+    def test_vdp_grid_is_upper_trapezoid(self, small_matrix):
+        tm = TileMatrix.from_dense(small_matrix, 8)  # mt=5, nt=3
+        arr = build_domino_vsa(tm, ib=4)
+        assert arr.n_vdps == 6  # nt*(nt+1)/2
+        assert set(arr.vsa.vdps) == {(0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2)}
+
+    def test_counters_match_stream_lengths(self, small_matrix):
+        tm = TileMatrix.from_dense(small_matrix, 8)
+        arr = build_domino_vsa(tm, ib=4)
+        assert arr.vsa.vdps[(0, 0)].counter == 5  # mt tiles stream through
+        assert arr.vsa.vdps[(2, 2)].counter == 3
+
+    def test_three_channel_slots(self, small_matrix):
+        tm = TileMatrix.from_dense(small_matrix, 8)
+        arr = build_domino_vsa(tm, ib=4)
+        vdp = arr.vsa.vdps[(0, 1)]
+        # A from injection, V and T from the left neighbour.
+        assert all(vdp.inputs[s] is not None for s in (0, 1, 2))
+
+    def test_input_not_mutated(self):
+        a0 = random_dense(24, 16, seed=33)
+        tm = TileMatrix.from_dense(a0, 8)
+        arr = build_domino_vsa(tm, ib=4, total_workers=2)
+        arr.run(deadlock_timeout=30)
+        np.testing.assert_array_equal(tm.to_dense(), a0)
+
+    def test_rejects_wide(self):
+        tm = TileMatrix.from_dense(random_dense(8, 16, seed=0), 8)
+        with pytest.raises(ConfigurationError):
+            build_domino_vsa(tm, ib=4)

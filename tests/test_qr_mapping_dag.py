@@ -1,0 +1,160 @@
+"""Unit tests for thread mapping and the DES task-graph builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dessim import simulate
+from repro.machine import kraken
+from repro.qr.dag import build_qr_taskgraph
+from repro.qr.mapping import VDPThreadMap
+from repro.qr.ops import expand_plans
+from repro.tiles import TileLayout
+from repro.trees import plan_all_panels
+
+
+class TestVDPThreadMap:
+    def test_domain_worker_cycles_by_column(self):
+        plans = plan_all_panels("hier", 12, 4, h=3)
+        tm = VDPThreadMap.from_plans(plans, total_workers=1000)
+        base = tm.domain_worker(0, 0, 0)
+        assert tm.domain_worker(0, 0, 1) == base + 1
+        assert tm.domain_worker(0, 0, 3) == base + 3
+
+    def test_different_domains_different_threads(self):
+        plans = plan_all_panels("hier", 12, 4, h=3)
+        tm = VDPThreadMap.from_plans(plans, total_workers=1000)
+        workers = {tm.domain_worker(0, d, 0) for d in range(4)}
+        assert len(workers) == 4
+
+    def test_different_panels_do_not_collide_on_columns(self):
+        """Regression: panel pipelines must not serialise on one worker."""
+        plans = plan_all_panels("flat", 30, 6)
+        tm = VDPThreadMap.from_plans(plans, total_workers=10_000)
+        col_workers = {tm.domain_worker(j, 0, 5) for j in range(6)}
+        assert len(col_workers) == 6
+
+    def test_binary_worker_is_pivot_holder(self):
+        plans = plan_all_panels("hier", 12, 2, h=3)
+        tm = VDPThreadMap.from_plans(plans, total_workers=64)
+        piv = plans[0].domains[0][0]
+        d = tm.row_domain(0, piv)
+        assert tm.binary_worker(0, piv, 1) == tm.domain_worker(0, d, 1)
+
+    def test_op_worker_consistency(self):
+        plans = plan_all_panels("hier", 12, 3, h=3)
+        tm = VDPThreadMap.from_plans(plans, total_workers=64)
+        layout = TileLayout(12 * 8, 3 * 8, 8)
+        for op in expand_plans(layout, plans):
+            w = tm.op_worker(op)
+            assert 0 <= w < 64
+            if op.kind in ("TSQRT", "TSMQR"):
+                # Same worker as the member's domain VDP at the op's column.
+                col = op.l if op.l >= 0 else op.j
+                d = tm.row_domain(op.j, op.k2)
+                assert w == tm.domain_worker(op.j, d, col)
+
+    def test_wraps_modulo_workers(self):
+        plans = plan_all_panels("binary", 40, 6)
+        tm = VDPThreadMap.from_plans(plans, total_workers=7)
+        assert all(
+            0 <= tm.domain_worker(p.j, d, p.j) < 7 for p in plans for d in range(len(p.domains))
+        )
+
+    def test_node_of_worker(self):
+        tm = VDPThreadMap(total_workers=22)
+        assert tm.node_of_worker(0, 11) == 0
+        assert tm.node_of_worker(11, 11) == 1
+
+
+class TestTaskGraphBuilder:
+    def build(self, tree="hier", m=1920, n=576, cores=48, **kw):
+        layout = TileLayout(m, n, 192)
+        plans = plan_all_panels(tree, layout.mt, layout.nt, h=kw.pop("h", 6))
+        return build_qr_taskgraph(layout, plans, kraken(), cores, 48, **kw), layout
+
+    def test_task_count_matches_ops(self):
+        qtg, layout = self.build()
+        plans = plan_all_panels("hier", layout.mt, layout.nt, h=6)
+        assert qtg.graph.n_tasks == len(expand_plans(layout, plans))
+
+    def test_workers_and_nodes(self):
+        qtg, _ = self.build(cores=48)
+        assert qtg.n_nodes == 4
+        assert qtg.n_workers == 4 * 11
+
+    def test_useful_vs_performed_flops(self):
+        qtg, _ = self.build()
+        assert qtg.performed_flops > qtg.useful_flops
+        assert 0.0 < qtg.flop_overhead() < 0.6
+
+    def test_graph_is_acyclic_and_schedulable(self):
+        qtg, _ = self.build()
+        cp = qtg.graph.critical_path()  # raises on cycles
+        res = simulate(qtg.graph, n_workers=qtg.n_workers)
+        assert res.makespan >= cp - 1e-12
+
+    def test_invalid_broadcast(self):
+        with pytest.raises(Exception):
+            self.build(broadcast="multicast")
+
+    def test_chain_vs_direct_differ(self):
+        """Broadcast scheme changes edge delays, hence the makespan."""
+        qc, _ = self.build(broadcast="chain")
+        qd, _ = self.build(broadcast="direct")
+        rc = simulate(qc.graph, n_workers=qc.n_workers)
+        rd = simulate(qd.graph, n_workers=qd.n_workers)
+        assert rc.makespan != rd.makespan
+
+    def test_record_meta(self):
+        qtg, _ = self.build(record_meta=True, m=960, n=384)
+        assert all(len(m) == 3 for m in qtg.graph.meta)
+        kinds = {m[0] for m in qtg.graph.meta}
+        assert "GEQRT" in kinds and "TSMQR" in kinds
+
+    def test_single_node_has_zero_comm_delays(self):
+        qtg, _ = self.build(cores=12, m=960, n=384)
+        # Chain forwards still cost the forward overhead, but no wire time:
+        # every positive delay must be a multiple-ish of the forward cost,
+        # strictly below one wire latency.
+        delays = qtg.graph.succ_delay
+        assert delays.max() < kraken().latency_s
+
+    def test_gflops_sanity(self):
+        qtg, _ = self.build()
+        res = simulate(
+            qtg.graph, n_workers=qtg.n_workers, task_overhead_s=kraken().task_overhead_s
+        )
+        g = res.gflops(qtg.useful_flops)
+        peak = qtg.cores * kraken().core_peak_gflops
+        assert 0.0 < g < peak
+
+
+class TestTreeShapeInSimulation:
+    """The headline qualitative results, checked at test scale."""
+
+    def run_tree(self, tree, m=11520, n=1152, cores=576):
+        layout = TileLayout(m, n, 192)
+        plans = plan_all_panels(tree, layout.mt, layout.nt, h=6)
+        qtg = build_qr_taskgraph(layout, plans, kraken(), cores, 48)
+        res = simulate(
+            qtg.graph, n_workers=qtg.n_workers, task_overhead_s=kraken().task_overhead_s
+        )
+        return res.gflops(qtg.useful_flops)
+
+    def test_hier_beats_flat_tall_skinny(self):
+        assert self.run_tree("hier") > 1.3 * self.run_tree("flat")
+
+    def test_hier_beats_binary(self):
+        assert self.run_tree("hier") > self.run_tree("binary")
+
+    def test_flat_saturates_with_rows(self):
+        g1 = self.run_tree("flat", m=5760)
+        g2 = self.run_tree("flat", m=23040)
+        assert g2 < 1.5 * g1  # far from the 4x a scalable tree shows
+
+    def test_binary_scales_with_rows(self):
+        g1 = self.run_tree("binary", m=5760)
+        g2 = self.run_tree("binary", m=23040)
+        assert g2 > 2.0 * g1

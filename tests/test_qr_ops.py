@@ -1,0 +1,154 @@
+"""Unit tests for operation-list expansion and the reference executor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.flops import qr_useful_flops, tile_qr_total_flops
+from repro.qr.ops import FACTOR_KINDS, UPDATE_KINDS, Op, expand_plans
+from repro.qr.reference import execute_ops
+from repro.tiles import TileLayout, TileMatrix, random_dense
+from repro.trees import plan_all_panels
+from repro.util import ConfigurationError
+
+
+def ops_for(kind: str, m=40, n=24, nb=8, h=3, shifted=True):
+    layout = TileLayout(m, n, nb)
+    plans = plan_all_panels(kind, layout.mt, layout.nt, h=h, shifted=shifted)
+    return layout, expand_plans(layout, plans)
+
+
+class TestExpansion:
+    def test_flat_op_counts(self):
+        layout, ops = ops_for("flat")
+        mt, nt = layout.mt, layout.nt  # 5, 3
+        geqrt = [o for o in ops if o.kind == "GEQRT"]
+        tsqrt = [o for o in ops if o.kind == "TSQRT"]
+        assert len(geqrt) == nt  # one per panel
+        assert len(tsqrt) == sum(mt - j - 1 for j in range(nt))
+        assert not any(o.kind.startswith("TT") for o in ops)
+
+    def test_binary_uses_tt_only(self):
+        _, ops = ops_for("binary")
+        assert not any(o.kind == "TSQRT" for o in ops)
+        assert any(o.kind == "TTQRT" for o in ops)
+
+    def test_hier_mixes_kernels(self):
+        _, ops = ops_for("hier")
+        kinds = {o.kind for o in ops}
+        assert {"GEQRT", "ORMQR", "TSQRT", "TSMQR", "TTQRT", "TTMQR"} <= kinds
+
+    def test_update_follows_factor(self):
+        """Each panel's update ops directly follow their factor op."""
+        _, ops = ops_for("hier")
+        for idx, op in enumerate(ops):
+            if op.kind in UPDATE_KINDS and op.l == op.j + 1:
+                prev = ops[idx - 1]
+                assert prev.is_factor
+                assert (prev.i, prev.k2, prev.j) == (op.i, op.k2, op.j)
+
+    def test_each_update_has_full_column_sweep(self):
+        layout, ops = ops_for("flat")
+        nt = layout.nt
+        for op in ops:
+            if op.kind == "TSQRT":
+                updates = [
+                    o
+                    for o in ops
+                    if o.kind == "TSMQR" and (o.i, o.k2, o.j) == (op.i, op.k2, op.j)
+                ]
+                assert [o.l for o in updates] == list(range(op.j + 1, nt))
+
+    def test_shapes_on_ragged_matrix(self):
+        layout, ops = ops_for("binary", m=37, n=21, nb=8)
+        for op in ops:
+            if op.kind == "TTQRT":
+                # TT consumes at most a k x k triangle.
+                assert op.m2 <= op.k
+            if op.kind == "TSQRT":
+                assert op.m2 == layout.tile_rows(op.k2)
+
+    def test_describe(self):
+        op = Op("TSQRT", 0, 3, 1, -1, m2=8, k=8, q=0)
+        assert op.describe() == "TSQRT(0,3;j=1)"
+        op2 = Op("TSMQR", 0, 3, 1, 2, m2=8, k=8, q=8)
+        assert "l=2" in op2.describe()
+
+    def test_reads_writes_sets(self):
+        assert Op("GEQRT", 2, -1, 1, -1, 8, 8, 0).writes() == ((2, 1),)
+        assert Op("ORMQR", 2, -1, 1, 3, 8, 8, 8).reads() == ((2, 1),)
+        assert Op("ORMQR", 2, -1, 1, 3, 8, 8, 8).writes() == ((2, 3),)
+        assert set(Op("TSQRT", 0, 4, 1, -1, 8, 8, 0).writes()) == {(0, 1), (4, 1)}
+        op = Op("TSMQR", 0, 4, 1, 2, 8, 8, 8)
+        assert op.reads() == ((4, 1),)
+        assert set(op.writes()) == {(0, 2), (4, 2)}
+
+    def test_is_factor(self):
+        for kind in FACTOR_KINDS:
+            assert Op(kind, 0, 1, 0, -1, 8, 8, 0).is_factor
+        for kind in UPDATE_KINDS:
+            assert not Op(kind, 0, 1, 0, 1, 8, 8, 8).is_factor
+
+
+class TestFlopAccounting:
+    def test_tree_overhead_ordering(self):
+        """Flat does the least extra work; binary the most (paper V-A)."""
+        layout = TileLayout(96, 24, 8)
+        useful = qr_useful_flops(96, 24)
+        totals = {}
+        for kind in ("flat", "hier", "binary"):
+            plans = plan_all_panels(kind, layout.mt, layout.nt, h=3)
+            totals[kind] = tile_qr_total_flops(expand_plans(layout, plans), 8, 4)
+        assert useful < totals["flat"] < totals["hier"] < totals["binary"]
+
+    def test_overhead_is_moderate(self):
+        """Tile-QR extra work stays within tens of percent of 2n^2(m-n/3)."""
+        layout = TileLayout(192, 48, 16)
+        plans = plan_all_panels("hier", layout.mt, layout.nt, h=4)
+        total = tile_qr_total_flops(expand_plans(layout, plans), 16, 4)
+        assert total / qr_useful_flops(192, 48) < 1.6
+
+
+class TestReferenceExecutor:
+    def test_requires_tall(self):
+        tm = TileMatrix.from_dense(random_dense(8, 16, seed=0), 8)
+        with pytest.raises(ConfigurationError):
+            execute_ops(tm, [], 4)
+
+    def test_r_factor_upper_triangular(self, small_matrix):
+        tm = TileMatrix.from_dense(small_matrix, 8)
+        plans = plan_all_panels("hier", tm.mt, tm.nt, h=3)
+        f = execute_ops(tm, expand_plans(tm.layout, plans), 4)
+        r = f.r_factor()
+        np.testing.assert_array_equal(r, np.triu(r))
+
+    def test_records_match_factor_ops(self, small_matrix):
+        tm = TileMatrix.from_dense(small_matrix, 8)
+        plans = plan_all_panels("binary", tm.mt, tm.nt)
+        ops = expand_plans(tm.layout, plans)
+        f = execute_ops(tm, ops, 4)
+        factor_ops = [o for o in ops if o.is_factor]
+        assert len(f.records) == len(factor_ops)
+        for rec, op in zip(f.records, factor_ops):
+            assert rec.kind == op.kind
+            assert (rec.i, rec.k2, rec.j) == (op.i, op.k2, op.j)
+
+    def test_solve_ls_shapes(self, small_matrix):
+        tm = TileMatrix.from_dense(small_matrix, 8)
+        plans = plan_all_panels("flat", tm.mt, tm.nt)
+        f = execute_ops(tm, expand_plans(tm.layout, plans), 4)
+        b1 = np.ones(40)
+        assert f.solve_ls(b1).shape == (24,)
+        b2 = np.ones((40, 3))
+        assert f.solve_ls(b2).shape == (24, 3)
+        with pytest.raises(Exception):
+            f.solve_ls(np.ones(7))
+
+    def test_apply_q_then_qt_roundtrip(self, small_matrix, rng):
+        tm = TileMatrix.from_dense(small_matrix, 8)
+        plans = plan_all_panels("hier", tm.mt, tm.nt, h=3)
+        f = execute_ops(tm, expand_plans(tm.layout, plans), 4)
+        c = rng.standard_normal((40, 5))
+        back = f.apply_q(f.apply_qt(c))
+        np.testing.assert_allclose(back, c, atol=1e-12)

@@ -1,0 +1,72 @@
+"""Property-based end-to-end QR tests: arbitrary shapes, trees, blockings."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import qr_factor
+from repro.tiles import random_dense
+
+SETTINGS = dict(max_examples=20, deadline=None)
+
+
+@settings(**SETTINGS)
+@given(
+    mt=st.integers(1, 6),
+    nt=st.integers(1, 4),
+    ragged_m=st.integers(0, 5),
+    ragged_n=st.integers(0, 5),
+    tree=st.sampled_from(["flat", "binary", "hier", "greedy"]),
+    h=st.integers(1, 4),
+    shifted=st.booleans(),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_qr_backward_stable_for_any_tiling(mt, nt, ragged_m, ragged_n, tree, h, shifted, seed):
+    nb, ib = 6, 3
+    m = mt * nb + ragged_m
+    n = nt * nb + ragged_n
+    if m < n:
+        m, n = n, m
+    a = random_dense(m, n, seed=seed)
+    f = qr_factor(a, nb=nb, ib=ib, tree=tree, h=h, shifted=shifted)
+    metrics = f.residuals(a)
+    assert metrics["factorization"] < 1e-12
+    assert metrics["orthogonality"] < 1e-12
+
+
+@settings(**SETTINGS)
+@given(
+    tree=st.sampled_from(["flat", "binary", "hier"]),
+    ib=st.sampled_from([1, 2, 4, 8]),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_inner_blocking_does_not_change_r_magnitude(tree, ib, seed):
+    a = random_dense(32, 16, seed=seed)
+    r_ref = np.abs(np.linalg.qr(a, mode="r"))
+    r = np.abs(qr_factor(a, nb=8, ib=ib, tree=tree, h=2).R)
+    assert np.linalg.norm(r - r_ref) < 1e-10 * max(1.0, np.linalg.norm(r_ref))
+
+
+@settings(**SETTINGS)
+@given(seed=st.integers(0, 2**31 - 1), scale=st.floats(1e-6, 1e6))
+def test_qr_scale_equivariance(seed, scale):
+    """R(c*A) == c*R(A) up to signs — the factorization is homogeneous."""
+    a = random_dense(24, 12, seed=seed)
+    r1 = qr_factor(a, nb=8, ib=4, tree="hier", h=2).R
+    r2 = qr_factor(scale * a, nb=8, ib=4, tree="hier", h=2).R
+    np.testing.assert_allclose(np.abs(r2), scale * np.abs(r1), rtol=1e-9)
+
+
+@settings(**SETTINGS)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_solution_invariant_under_tree_choice(seed):
+    """Least-squares solutions agree across trees to solver accuracy."""
+    a = random_dense(60, 10, seed=seed)
+    b = random_dense(60, 1, seed=seed + 1)[:, 0]
+    xs = [
+        qr_factor(a, nb=8, ib=4, tree=t, h=3).solve(b)
+        for t in ("flat", "binary", "hier", "greedy")
+    ]
+    for x in xs[1:]:
+        np.testing.assert_allclose(x, xs[0], atol=1e-9)

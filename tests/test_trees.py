@@ -1,0 +1,200 @@
+"""Unit tests for reduction-tree plans and their statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trees import (
+    Elimination,
+    PanelPlan,
+    TreeKind,
+    plan_all_panels,
+    plan_panel,
+    summarize_plans,
+)
+from repro.util import ConfigurationError, ScheduleError
+
+
+class TestTreeKind:
+    def test_coerce_strings(self):
+        assert TreeKind.coerce("flat") is TreeKind.FLAT
+        assert TreeKind.coerce("HIER") is TreeKind.HIER
+        assert TreeKind.coerce(TreeKind.BINARY) is TreeKind.BINARY
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ScheduleError, match="unknown tree kind"):
+            TreeKind.coerce("fibonacci")
+
+
+class TestElimination:
+    def test_rejects_self_elimination(self):
+        with pytest.raises(ConfigurationError):
+            Elimination("TS", 3, 3)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            Elimination("XX", 0, 1)
+
+
+class TestFlatTree:
+    def test_structure(self):
+        p = plan_panel("flat", 0, 6)
+        assert p.geqrt_rows == [0]
+        assert [(e.piv, e.row) for e in p.eliminations] == [(0, r) for r in range(1, 6)]
+        assert all(e.kind == "TS" for e in p.eliminations)
+
+    def test_critical_path_is_linear(self):
+        assert plan_panel("flat", 0, 9).critical_path_length() == 8
+
+    def test_later_panel(self):
+        p = plan_panel("flat", 3, 6)
+        assert p.rows == [3, 4, 5]
+        assert p.pivot == 3
+
+
+class TestBinaryTree:
+    def test_all_rows_factored(self):
+        p = plan_panel("binary", 0, 8)
+        assert p.geqrt_rows == list(range(8))
+        assert all(e.kind == "TT" for e in p.eliminations)
+
+    def test_logarithmic_depth(self):
+        assert plan_panel("binary", 0, 8).critical_path_length() == 3
+        assert plan_panel("binary", 0, 16).critical_path_length() == 4
+
+    def test_non_power_of_two(self):
+        p = plan_panel("binary", 0, 7)
+        p.validate()
+        assert len(p.eliminations) == 6
+        assert p.critical_path_length() == 3
+
+    def test_levels_increase(self):
+        p = plan_panel("binary", 0, 8)
+        levels = [e.level for e in p.eliminations]
+        assert levels == sorted(levels)
+        assert max(levels) == 3
+
+    def test_single_row_panel(self):
+        p = plan_panel("binary", 5, 6)
+        assert p.eliminations == []
+        assert p.geqrt_rows == [5]
+
+
+class TestGreedyTree:
+    def test_valid_and_logarithmic(self):
+        p = plan_panel("greedy", 0, 12)
+        p.validate()
+        assert p.critical_path_length() <= 5
+
+    def test_fold_pairing(self):
+        p = plan_panel("greedy", 0, 8)
+        first_round = [e for e in p.eliminations if e.level == 1]
+        assert [(e.piv, e.row) for e in first_round] == [(0, 4), (1, 5), (2, 6), (3, 7)]
+
+
+class TestHierarchicalTree:
+    def test_domains_shifted(self):
+        p = plan_panel("hier", 1, 10, h=3, shifted=True)
+        assert p.domains == [[1, 2, 3], [4, 5, 6], [7, 8, 9]]
+
+    def test_domains_fixed(self):
+        p = plan_panel("hier", 1, 10, h=3, shifted=False)
+        # Fixed boundaries align to absolute multiples of h: first domain
+        # is the partial one.
+        assert p.domains == [[1, 2], [3, 4, 5], [6, 7, 8], [9]]
+
+    def test_boundary_shifts_per_panel(self):
+        d0 = plan_panel("hier", 0, 12, h=4, shifted=True).domains[0]
+        d1 = plan_panel("hier", 1, 12, h=4, shifted=True).domains[0]
+        assert d0 == [0, 1, 2, 3] and d1 == [1, 2, 3, 4]
+
+    def test_heads_get_geqrt(self):
+        p = plan_panel("hier", 0, 12, h=4)
+        assert p.geqrt_rows == [0, 4, 8]
+
+    def test_ts_within_domain_tt_across(self):
+        p = plan_panel("hier", 0, 12, h=4)
+        ts = [e for e in p.eliminations if e.kind == "TS"]
+        tt = [e for e in p.eliminations if e.kind == "TT"]
+        assert len(ts) == 9 and len(tt) == 2
+        assert {e.piv for e in tt} <= set(p.geqrt_rows)
+
+    def test_depth_between_flat_and_binary(self):
+        mt = 64
+        flat = plan_panel("flat", 0, mt).critical_path_length()
+        binary = plan_panel("binary", 0, mt).critical_path_length()
+        hier = plan_panel("hier", 0, mt, h=8).critical_path_length()
+        assert binary < hier < flat
+
+    def test_h_larger_than_panel_degenerates_to_flat(self):
+        p = plan_panel("hier", 0, 5, h=100)
+        assert len(p.domains) == 1
+        assert all(e.kind == "TS" for e in p.eliminations)
+
+
+class TestValidation:
+    def test_plan_validate_catches_double_elimination(self):
+        p = PanelPlan(
+            j=0,
+            rows=[0, 1, 2],
+            geqrt_rows=[0],
+            eliminations=[Elimination("TS", 0, 1), Elimination("TS", 0, 1)],
+        )
+        with pytest.raises(ScheduleError, match="eliminated twice"):
+            p.validate()
+
+    def test_plan_validate_catches_missing_row(self):
+        p = PanelPlan(j=0, rows=[0, 1, 2], geqrt_rows=[0], eliminations=[Elimination("TS", 0, 1)])
+        with pytest.raises(ScheduleError, match="never eliminated"):
+            p.validate()
+
+    def test_plan_validate_catches_tt_on_full_tile(self):
+        p = PanelPlan(
+            j=0,
+            rows=[0, 1],
+            geqrt_rows=[0],
+            eliminations=[Elimination("TT", 0, 1)],
+        )
+        with pytest.raises(ScheduleError, match="TT elimination of full tile"):
+            p.validate()
+
+    def test_plan_validate_catches_ts_on_triangular_tile(self):
+        p = PanelPlan(
+            j=0,
+            rows=[0, 1],
+            geqrt_rows=[0, 1],
+            eliminations=[Elimination("TS", 0, 1)],
+        )
+        with pytest.raises(ScheduleError, match="TS elimination of triangular"):
+            p.validate()
+
+    def test_plan_panel_range_checks(self):
+        with pytest.raises(ConfigurationError):
+            plan_panel("flat", 6, 6)
+        with pytest.raises(ConfigurationError):
+            plan_panel("hier", 0, 6, h=0)
+
+
+class TestPlanAll:
+    def test_covers_all_panels(self):
+        plans = plan_all_panels("hier", 10, 4, h=3)
+        assert [p.j for p in plans] == [0, 1, 2, 3]
+
+    def test_square_matrix_panel_count(self):
+        assert len(plan_all_panels("flat", 4, 4)) == 4
+
+    def test_summary_counts(self):
+        plans = plan_all_panels("hier", 12, 3, h=4)
+        stats = summarize_plans(plans)
+        assert stats.panels == 3
+        assert stats.eliminations == stats.ts + stats.tt
+        # Every non-pivot row of every panel is eliminated exactly once.
+        assert stats.eliminations == sum(len(p.rows) - 1 for p in plans)
+        assert stats.geqrt == sum(len(p.geqrt_rows) for p in plans)
+
+    def test_summary_depth_ordering(self):
+        mt, nt = 32, 4
+        flat = summarize_plans(plan_all_panels("flat", mt, nt))
+        binary = summarize_plans(plan_all_panels("binary", mt, nt))
+        assert binary.max_depth < flat.max_depth
+        assert binary.max_parallel_elims > flat.max_parallel_elims

@@ -1,0 +1,78 @@
+"""Property-based tests for tree plans: validity for arbitrary shapes."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.trees import TreeKind, plan_panel, plan_all_panels
+
+SETTINGS = dict(max_examples=60, deadline=None)
+
+kinds = st.sampled_from([k.value for k in TreeKind])
+
+
+@settings(**SETTINGS)
+@given(
+    kind=kinds,
+    mt=st.integers(1, 60),
+    h=st.integers(1, 12),
+    shifted=st.booleans(),
+    data=st.data(),
+)
+def test_every_panel_plan_is_valid(kind, mt, h, shifted, data):
+    j = data.draw(st.integers(0, mt - 1))
+    plan = plan_panel(kind, j, mt, h=h, shifted=shifted)
+    plan.validate()  # raises on any violated invariant
+    # Rows are exactly j..mt-1 and the pivot survives.
+    assert plan.rows == list(range(j, mt))
+    assert plan.pivot == j
+    # Elimination count is exact: every non-pivot row goes once.
+    assert len(plan.eliminations) == mt - j - 1
+
+
+@settings(**SETTINGS)
+@given(kind=kinds, mt=st.integers(2, 40), h=st.integers(1, 8), shifted=st.booleans())
+def test_depth_bounds(kind, mt, h, shifted):
+    plan = plan_panel(kind, 0, mt, h=h, shifted=shifted)
+    depth = plan.critical_path_length()
+    # Depth is bounded below by the information-theoretic log bound and
+    # above by the serial chain.
+    assert depth <= mt - 1
+    assert (1 << depth) >= mt  # 2^depth >= number of rows reduced
+
+
+@settings(**SETTINGS)
+@given(
+    kind=kinds,
+    mt=st.integers(1, 30),
+    nt=st.integers(1, 8),
+    h=st.integers(1, 6),
+)
+def test_plan_all_panels_consistency(kind, mt, nt, h):
+    plans = plan_all_panels(kind, mt, nt, h=h)
+    assert len(plans) == min(mt, nt)
+    for p in plans:
+        # Domains partition the rows in order.
+        flattened = [r for dom in p.domains for r in dom]
+        assert flattened == p.rows
+
+
+@settings(**SETTINGS)
+@given(mt=st.integers(2, 60), h=st.integers(1, 10))
+def test_hier_shifted_first_domain_full(mt, h):
+    """Shifted boundaries: every domain has h rows except the last."""
+    plan = plan_panel("hier", 0, mt, h=h, shifted=True)
+    sizes = [len(d) for d in plan.domains]
+    assert all(s == h for s in sizes[:-1])
+    assert 1 <= sizes[-1] <= h
+
+
+@settings(**SETTINGS)
+@given(mt=st.integers(2, 60), h=st.integers(1, 10), j=st.integers(0, 20))
+def test_hier_fixed_boundaries_absolute(mt, h, j):
+    """Fixed boundaries: interior domain edges sit at multiples of h."""
+    if j >= mt:
+        j = mt - 1
+    plan = plan_panel("hier", j, mt, h=h, shifted=False)
+    for dom in plan.domains[1:]:
+        assert dom[0] % h == 0

@@ -1,0 +1,164 @@
+"""Unit tests for :mod:`repro.util` (errors, rng, validation, formatting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    ChannelClosedError,
+    ChannelDisabledError,
+    ChannelError,
+    ConfigurationError,
+    DeadlockError,
+    NetworkError,
+    ReproError,
+    ScheduleError,
+    ShapeError,
+    SimulationError,
+    TagError,
+    ascii_gantt,
+    as_f64_matrix,
+    check_fraction,
+    check_nonnegative_int,
+    check_positive,
+    check_positive_int,
+    check_tile_params,
+    format_bytes,
+    format_seconds,
+    format_si,
+    format_table,
+    make_rng,
+    require,
+    spawn_rngs,
+)
+
+
+class TestErrors:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            ConfigurationError,
+            ShapeError,
+            ChannelError,
+            ChannelClosedError,
+            ChannelDisabledError,
+            NetworkError,
+            TagError,
+            ScheduleError,
+            SimulationError,
+            DeadlockError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        # API users catching ValueError for bad params should succeed.
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(ShapeError, ValueError)
+
+    def test_tag_error_is_network_error(self):
+        assert issubclass(TagError, NetworkError)
+
+    def test_deadlock_is_simulation_error(self):
+        assert issubclass(DeadlockError, SimulationError)
+
+
+class TestRng:
+    def test_default_seed_deterministic(self):
+        assert make_rng().integers(1 << 30) == make_rng().integers(1 << 30)
+
+    def test_int_seed(self):
+        assert make_rng(7).integers(1 << 30) == make_rng(7).integers(1 << 30)
+        assert make_rng(7).integers(1 << 30) != make_rng(8).integers(1 << 30)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert make_rng(g) is g
+
+    def test_spawn_independent_streams(self):
+        a, b = spawn_rngs(3, 2)
+        assert a.integers(1 << 30) != b.integers(1 << 30)
+
+    def test_spawn_deterministic(self):
+        x = [g.integers(1 << 30) for g in spawn_rngs(5, 3)]
+        y = [g.integers(1 << 30) for g in spawn_rngs(5, 3)]
+        assert x == y
+
+
+class TestValidation:
+    def test_require_raises(self):
+        with pytest.raises(ConfigurationError, match="boom"):
+            require(False, "boom")
+        require(True, "fine")
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "x", None, True])
+    def test_check_positive_int_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(bad, "v")
+
+    def test_check_positive_int_accepts_numpy(self):
+        assert check_positive_int(np.int64(5), "v") == 5
+
+    def test_check_nonnegative_int(self):
+        assert check_nonnegative_int(0, "v") == 0
+        with pytest.raises(ConfigurationError):
+            check_nonnegative_int(-1, "v")
+
+    @pytest.mark.parametrize("bad", [0.0, -2.0, float("nan"), float("inf"), "x"])
+    def test_check_positive_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_positive(bad, "v")
+
+    def test_check_fraction(self):
+        assert check_fraction(0.5, "v") == 0.5
+        assert check_fraction(1.0, "v") == 1.0
+        with pytest.raises(ConfigurationError):
+            check_fraction(1.5, "v")
+
+    def test_as_f64_matrix_coerces(self):
+        out = as_f64_matrix([[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_as_f64_matrix_rejects_1d_and_empty(self):
+        with pytest.raises(ShapeError):
+            as_f64_matrix(np.zeros(3))
+        with pytest.raises(ShapeError):
+            as_f64_matrix(np.zeros((0, 3)))
+
+    def test_check_tile_params(self):
+        check_tile_params(100, 50, 16, 4)
+        with pytest.raises(ConfigurationError):
+            check_tile_params(100, 50, 16, 5)  # ib does not divide nb
+        with pytest.raises(ConfigurationError):
+            check_tile_params(100, 50, 4, 16)  # ib > nb
+
+
+class TestFormatting:
+    def test_format_si(self):
+        assert format_si(11.2e12, "flop/s") == "11.20 Tflop/s"
+        assert format_si(9.5e9, "flop/s") == "9.50 Gflop/s"
+        assert format_si(3.0, "x") == "3.00 x"
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2.00 KiB"
+        assert "GiB" in format_bytes(3 * 1024**3)
+
+    def test_format_seconds(self):
+        assert format_seconds(2.5) == "2.500 s"
+        assert format_seconds(0.0025) == "2.500 ms"
+        assert format_seconds(2.5e-6) == "2.5 us"
+
+    def test_format_table_alignment(self):
+        txt = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = txt.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "-" in lines[1]
+
+    def test_ascii_gantt_renders(self):
+        out = ascii_gantt([[(0.0, 1.0, "F")], [(0.5, 2.0, "B")]], width=20)
+        assert "F" in out and "B" in out
+
+    def test_ascii_gantt_empty(self):
+        assert ascii_gantt([]) == "(empty trace)"
