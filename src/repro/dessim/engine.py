@@ -113,10 +113,13 @@ def simulate(
     pools: list[list[tuple[float, int]]] = [[] for _ in range(n_workers)]
     events: list[tuple[float, int, int]] = []
     trace: list[tuple] | None = [] if record_trace else None
+    # Workers touched while processing one completion; persistent (cleared,
+    # never reallocated) so the event loop does no per-event allocation.
+    touched: set[int] = set()
 
     def enqueue(task: int) -> None:
         nonlocal seq
-        key = float(task) if lazy else -float(seq)
+        key = task if lazy else -seq
         seq += 1
         heapq.heappush(pools[worker_of[task]], (key, task))
 
@@ -136,7 +139,7 @@ def simulate(
                 (int(w), float(start), float(finish), int(graph.kind[task]), graph.meta[task])
             )
         seq += 1
-        heapq.heappush(events, (float(finish), seq, int(task)))
+        heapq.heappush(events, (finish, seq, task))
 
     for task in np.flatnonzero(deps_left == 0):
         enqueue(int(task))
@@ -150,17 +153,17 @@ def simulate(
             # Deferred arrival: the task's last dependency reached it now.
             d = -1 - enc
             enqueue(d)
-            w = int(worker_of[d])
+            w = worker_of[d]
             if worker_idle[w]:
                 try_start(w, now)
             continue
         task = enc
         finished += 1
-        w = int(worker_of[task])
+        w = worker_of[task]
         worker_idle[w] = True
-        touched = {w}
+        touched.add(w)
         for e in range(succ_index[task], succ_index[task + 1]):
-            d = int(succ_task[e])
+            d = succ_task[e]
             arr = now + succ_delay[e]
             if arr > ready_at[d]:
                 ready_at[d] = arr
@@ -168,13 +171,14 @@ def simulate(
             if deps_left[d] == 0:
                 if ready_at[d] <= now:
                     enqueue(d)
-                    touched.add(int(worker_of[d]))
+                    touched.add(worker_of[d])
                 else:
                     seq += 1
-                    heapq.heappush(events, (float(ready_at[d]), seq, -1 - d))
+                    heapq.heappush(events, (ready_at[d], seq, -1 - d))
         for ww in touched:
             if worker_idle[ww]:
                 try_start(ww, now)
+        touched.clear()
 
     if finished != n:
         raise SimulationError(

@@ -25,6 +25,21 @@ from .householder import larfg
 
 __all__ = ["tsqrt", "ttqrt", "tsmqr", "ttmqr"]
 
+# Boolean upper-trapezoid masks used by ttmqr, cached per (rows, cols, diag):
+# tile QR calls ttmqr with the same few block shapes thousands of times, and
+# rebuilding the mask (what np.triu does internally) dominated its setup cost.
+_TRIU_MASKS: dict[tuple[int, int, int], np.ndarray] = {}
+
+
+def _triu_mask(rows: int, cols: int, diag: int) -> np.ndarray:
+    key = (rows, cols, diag)
+    mask = _TRIU_MASKS.get(key)
+    if mask is None:
+        mask = ~np.tri(rows, cols, diag - 1, dtype=bool)
+        mask.setflags(write=False)
+        _TRIU_MASKS[key] = mask
+    return mask
+
 
 def tsqrt(r: np.ndarray, a2: np.ndarray, ib: int) -> np.ndarray:
     """Factor ``[r; a2]`` in place; return the ``T`` factor.
@@ -55,13 +70,13 @@ def tsqrt(r: np.ndarray, a2: np.ndarray, ib: int) -> np.ndarray:
         raise ShapeError(f"tsqrt: a2 must have {k} columns, got {a2.shape}")
     m2 = a2.shape[0]
     t = np.zeros((ib, k))
+    x = np.empty(m2 + 1)  # reflector scratch, reused across all columns
     for k0 in range(0, k, ib):
         kb = min(ib, k - k0)
         t_blk = np.zeros((kb, kb))
         taus = np.zeros(kb)
         for jj in range(kb):
             j = k0 + jj
-            x = np.empty(m2 + 1)
             x[0] = r[j, j]
             x[1:] = a2[:, j]
             beta, v2, tau = larfg(x)
@@ -119,6 +134,7 @@ def ttqrt(r1: np.ndarray, r2: np.ndarray, ib: int) -> np.ndarray:
         raise ShapeError(f"ttqrt: incompatible shapes, {r1.shape} vs {r2.shape}")
     m2 = r2.shape[0]
     t = np.zeros((ib, k))
+    xbuf = np.empty(m2 + 1)  # reflector scratch, reused across all columns
     for k0 in range(0, k, ib):
         kb = min(ib, k - k0)
         hi = min(k0 + kb, m2)  # valid V2 rows within this block
@@ -129,7 +145,7 @@ def ttqrt(r1: np.ndarray, r2: np.ndarray, ib: int) -> np.ndarray:
         for jj in range(kb):
             j = k0 + jj
             d = min(j + 1, m2)  # explicit reflector length in r2
-            x = np.empty(d + 1)
+            x = xbuf[: d + 1]
             x[0] = r1[j, j]
             x[1:] = r2[:d, j]
             beta, v2, tau = larfg(x)
@@ -235,7 +251,7 @@ def ttmqr(
         t_blk = t[:kb, k0 : k0 + kb]
         tt = t_blk.T if trans else t_blk
         # Element (r, jj) of the block is a valid V2 entry iff r <= k0 + jj.
-        v = np.triu(v2[:hi, k0 : k0 + kb], -k0)
+        v = np.where(_triu_mask(hi, kb, -k0), v2[:hi, k0 : k0 + kb], 0.0)
         c1_blk = c1[k0 : k0 + kb, :]
         c2_hi = c2[:hi, :]
         w = tt @ (c1_blk + v.T @ c2_hi)

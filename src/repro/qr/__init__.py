@@ -7,6 +7,7 @@ from .persist import load_factorization, save_factorization
 from .verify import VerificationReport, verify_factorization
 from .domino import build_domino_vsa
 from .ops import FACTOR_KINDS, UPDATE_KINDS, Op, expand_plans
+from .parallel import ParallelRunStats, default_n_procs, execute_ops_parallel
 from .reference import FactorRecord, TileQRFactors, execute_ops
 from .vsa3d import QRArray, build_qr_vsa
 
@@ -18,6 +19,9 @@ __all__ = [
     "FactorRecord",
     "TileQRFactors",
     "execute_ops",
+    "ParallelRunStats",
+    "execute_ops_parallel",
+    "default_n_procs",
     "ResultStore",
     "assemble_factors",
     "QRArray",

@@ -15,6 +15,11 @@ Backends
 ``serial``
     The reference executor: one Python thread, kernels run in schedule
     order.  Fast and always available.
+``parallel``
+    Process-pool execution of the same operation list over shared-memory
+    tiles (:mod:`repro.qr.parallel`): real multi-core wall-clock speedup,
+    factors bit-identical to ``serial``.  Falls back to the serial
+    executor when ``n_procs=1`` or shared memory is unavailable.
 ``pulsar``
     The full 3D virtual systolic array on the threaded PULSAR runtime,
     optionally across several simulated distributed-memory nodes.  Produces
@@ -47,7 +52,8 @@ class QRFactorization:
         self._factors = factors
         self.tree = tree
         self.backend = backend
-        self.stats = stats  # RunStats for the pulsar backend, else None
+        # RunStats (pulsar) / ParallelRunStats (parallel), else None.
+        self.stats = stats
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -109,6 +115,8 @@ def qr_factor(
     workers_per_node: int = 1,
     policy: str = "lazy",
     seed: int | None = None,
+    n_procs: int | None = None,
+    batch: int | None = None,
 ) -> QRFactorization:
     """Tree-based tile QR factorization of a tall-and-skinny matrix.
 
@@ -132,11 +140,17 @@ def qr_factor(
         Shift domain boundaries per panel (paper Figure 6b, default) or keep
         them fixed (6a).
     backend:
-        ``"serial"`` or ``"pulsar"`` (see module docstring).
+        ``"serial"``, ``"parallel"``, or ``"pulsar"`` (see module
+        docstring).
     n_nodes, workers_per_node, policy, seed:
         PULSAR launch parameters (``backend="pulsar"`` only): simulated node
         count, worker threads per node, lazy/aggressive scheduling, network
-        jitter seed.
+        jitter seed.  ``policy`` is shared with ``backend="parallel"``,
+        where it selects the dispatcher's ready-pool discipline.
+    n_procs, batch:
+        ``backend="parallel"`` only: worker process count (default: usable
+        CPUs; ``1`` falls back to serial) and operations per dispatch
+        message (default: auto).
 
     Returns
     -------
@@ -156,7 +170,14 @@ def qr_factor(
         from ..machine.model import kraken
         from ..trees.auto import choose_domain_size
 
-        workers = n_nodes * workers_per_node if backend == "pulsar" else None
+        if backend == "pulsar":
+            workers = n_nodes * workers_per_node
+        elif backend == "parallel":
+            from .parallel import default_n_procs
+
+            workers = n_procs if n_procs is not None else default_n_procs()
+        else:
+            workers = None
         h = choose_domain_size(
             tm.mt, machine=kraken(), nb=tm.nb, ib=ib, workers=workers
         )
@@ -168,6 +189,13 @@ def qr_factor(
     if backend == "serial":
         factors = execute_ops(tm, ops, ib)
         return QRFactorization(factors, kind, backend)
+    if backend == "parallel":
+        from .parallel import execute_ops_parallel
+
+        factors, stats = execute_ops_parallel(
+            tm, ops, ib, n_procs=n_procs, policy=policy, batch=batch
+        )
+        return QRFactorization(factors, kind, backend, stats=stats)
     if backend == "pulsar":
         from .collector import assemble_factors
         from .vsa3d import build_qr_vsa
@@ -182,7 +210,9 @@ def qr_factor(
         )
         factors = assemble_factors(arr.store, ops, ib)
         return QRFactorization(factors, kind, backend, stats=stats)
-    raise ConfigurationError(f"unknown backend {backend!r}; expected 'serial' or 'pulsar'")
+    raise ConfigurationError(
+        f"unknown backend {backend!r}; expected 'serial', 'parallel', or 'pulsar'"
+    )
 
 
 def lstsq(

@@ -38,7 +38,7 @@ from ..util.validation import require
 from .mapping import VDPThreadMap
 from .ops import expand_plans
 
-__all__ = ["QRTaskGraph", "build_qr_taskgraph"]
+__all__ = ["QRTaskGraph", "build_qr_taskgraph", "op_dependency_graph"]
 
 _KIND_CODE = {
     "GEQRT": KIND_PANEL,
@@ -65,6 +65,36 @@ class QRTaskGraph:
     def flop_overhead(self) -> float:
         """Extra work ratio of the tree algorithm vs plain Householder QR."""
         return self.performed_flops / self.useful_flops - 1.0
+
+
+def op_dependency_graph(ops) -> TaskGraph:
+    """Pure dataflow DAG of an operation list — no machine model, no timing.
+
+    One task per op (same indices), edges from read-after-write and
+    write-after-write hazards on each tile; write-after-read needs no edge
+    because factor kernels only touch storage regions disjoint from the
+    reflectors that in-flight updates read (see the module docstring).  The
+    per-tile write chains this builds totally order every tile's mutations,
+    which is why *any* legal schedule of this graph — including the
+    process-parallel executor's — produces factors bit-identical to the
+    serial reference.
+
+    The returned :class:`~repro.dessim.graph.TaskGraph` supplies the CSR
+    successor arrays (``succ_index``/``succ_task``) and in-degree counts
+    (``n_deps``) the parallel dispatcher tracks at run time.
+    """
+    b = TaskGraphBuilder()
+    last_writer: dict[tuple[int, int], int] = {}
+    for op in ops:
+        tid = b.add_task(0.0, 0)
+        for key in op.reads():
+            b.add_edge(last_writer[key], tid)
+        for key in op.writes():
+            prev = last_writer.get(key)
+            if prev is not None:
+                b.add_edge(prev, tid)
+            last_writer[key] = tid
+    return b.build()
 
 
 def build_qr_taskgraph(

@@ -1,0 +1,397 @@
+"""Process-parallel shared-memory executor for tile QR.
+
+The serial reference executor and the threaded PULSAR backend both run
+their kernels under the GIL, so ``qr_factor`` uses one core no matter how
+many the machine has.  This module executes the *same* operation list
+(:mod:`repro.qr.ops`) across real OS processes:
+
+* the tiles (and one slot per compact-WY ``T`` factor) live in a single
+  shared-memory segment (:class:`repro.tiles.shared.SharedTileStore`);
+  workers attach once and mutate tiles in place — no array is ever pickled;
+* the parent runs a DAG-driven dispatcher over the dataflow graph of
+  :func:`repro.qr.dag.op_dependency_graph`, tracking dependency counts and
+  handing *batches* of ready operation indices to idle workers to amortise
+  IPC;
+* the ready pool supports the PRT scheduling policies: ``lazy`` fires the
+  oldest ready op in program order, ``aggressive`` the most recently
+  enabled one.
+
+Because the dependency graph totally orders every tile's mutations, any
+legal schedule — whichever workers run whichever ops in whatever
+interleaving — produces factors **bit-identical** to the serial reference;
+the tests assert exactly that.
+
+When ``n_procs == 1`` or shared memory is unavailable the executor falls
+back to the serial reference (same factors, ``stats.mode`` records the
+fallback) instead of failing.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing as mp
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection, wait as conn_wait
+
+from .. import kernels
+from ..tiles.layout import TileLayout
+from ..tiles.matrix import TileMatrix
+from ..util.errors import ParallelExecutionError
+from ..util.validation import check_positive_int, require
+from .dag import op_dependency_graph
+from .ops import Op
+from .reference import FactorRecord, TileQRFactors, execute_ops
+
+__all__ = [
+    "ParallelRunStats",
+    "execute_ops_parallel",
+    "default_n_procs",
+]
+
+_POLICIES = ("lazy", "aggressive")
+
+
+def default_n_procs() -> int:
+    """Worker count used when ``n_procs`` is not given: usable CPUs."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@dataclass
+class ParallelRunStats:
+    """Observability record of one process-parallel execution.
+
+    ``mode`` is ``"parallel"`` for a real multi-process run and
+    ``"serial-fallback"`` when the executor degraded to the serial
+    reference (``n_procs == 1`` or shared memory unavailable).
+    """
+
+    n_ops: int = 0
+    n_procs: int = 1
+    policy: str = "lazy"
+    batch: int = 1
+    elapsed_s: float = 0.0
+    spawn_s: float = 0.0
+    dispatch_s: float = 0.0  # parent time spent dispatching (not waiting)
+    per_worker_busy_s: dict[int, float] = field(default_factory=dict)
+    per_worker_ops: dict[int, int] = field(default_factory=dict)
+    mode: str = "parallel"
+    fallback_reason: str = ""
+
+    @property
+    def tasks_per_s(self) -> float:
+        """Completed kernel invocations per wall-clock second."""
+        return self.n_ops / self.elapsed_s if self.elapsed_s > 0.0 else 0.0
+
+    def busy_fractions(self) -> dict[int, float]:
+        """Per-worker fraction of the run each worker spent inside kernels."""
+        if self.elapsed_s <= 0.0:
+            return {w: 0.0 for w in self.per_worker_busy_s}
+        return {w: b / self.elapsed_s for w, b in self.per_worker_busy_s.items()}
+
+    @property
+    def dispatch_overhead(self) -> float:
+        """Fraction of the run the parent spent dispatching (IPC + bookkeeping)."""
+        return self.dispatch_s / self.elapsed_s if self.elapsed_s > 0.0 else 0.0
+
+
+# --------------------------------------------------------------------------
+# Kernel execution against a shared store (runs inside worker processes)
+# --------------------------------------------------------------------------
+
+
+def _execute_op(store, op: Op, ib: int) -> None:
+    """Run one kernel in place on shared tiles (mirrors the serial executor)."""
+    if op.kind == "GEQRT":
+        t = kernels.geqrt(store.tile(op.i, op.j), ib)
+        store.t_factor(("G", op.i, op.j))[...] = t
+    elif op.kind == "ORMQR":
+        kernels.ormqr(
+            store.tile(op.i, op.j), store.t_factor(("G", op.i, op.j)), store.tile(op.i, op.l)
+        )
+    elif op.kind == "TSQRT":
+        r = store.tile(op.i, op.j)[: op.k, : op.k]
+        t = kernels.tsqrt(r, store.tile(op.k2, op.j), ib)
+        store.t_factor(("E", op.k2, op.j))[...] = t
+    elif op.kind == "TSMQR":
+        kernels.tsmqr(
+            store.tile(op.k2, op.j),
+            store.t_factor(("E", op.k2, op.j)),
+            store.tile(op.i, op.l),
+            store.tile(op.k2, op.l),
+        )
+    elif op.kind == "TTQRT":
+        r1 = store.tile(op.i, op.j)[: op.k, : op.k]
+        r2 = store.tile(op.k2, op.j)[: op.m2, : op.k]
+        t = kernels.ttqrt(r1, r2, ib)
+        store.t_factor(("E", op.k2, op.j))[...] = t
+    elif op.kind == "TTMQR":
+        v2 = store.tile(op.k2, op.j)[: op.m2, : op.k]
+        c2 = store.tile(op.k2, op.l)[: op.m2, :]
+        kernels.ttmqr(v2, store.t_factor(("E", op.k2, op.j)), store.tile(op.i, op.l), c2)
+    else:
+        raise ValueError(f"unknown op kind {op.kind!r}")
+
+
+def _worker_main(
+    rank: int,
+    shm_name: str,
+    layout: TileLayout,
+    ops: list[Op],
+    ib: int,
+    conn: Connection,
+) -> None:
+    """Worker loop: attach to the store once, then execute index batches."""
+    from ..tiles.shared import SharedTileStore
+
+    store = SharedTileStore.attach(shm_name, layout, ops, ib)
+    try:
+        while True:
+            batch = conn.recv()
+            if batch is None:
+                break
+            done: list[tuple[int, float]] = []
+            for idx in batch:
+                t0 = time.perf_counter()
+                try:
+                    _execute_op(store, ops[idx], ib)
+                except BaseException:
+                    conn.send(("err", rank, idx, traceback.format_exc()))
+                    return
+                done.append((idx, time.perf_counter() - t0))
+            conn.send(("done", rank, done))
+    except (EOFError, KeyboardInterrupt):  # parent went away: just exit
+        pass
+    finally:
+        store.close()
+        conn.close()
+
+
+# --------------------------------------------------------------------------
+# Parent-side dispatcher
+# --------------------------------------------------------------------------
+
+
+class _ReadyPool:
+    """Ready-op pool with the two PRT disciplines (lazy / aggressive)."""
+
+    def __init__(self, policy: str):
+        self._lazy = policy == "lazy"
+        self._items: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def push(self, idx: int) -> None:
+        if self._lazy:
+            heapq.heappush(self._items, idx)  # oldest in program order first
+        else:
+            self._items.append(idx)  # most recently enabled first
+
+    def pop(self) -> int:
+        return heapq.heappop(self._items) if self._lazy else self._items.pop()
+
+
+def _auto_batch(n_ops: int, n_procs: int) -> int:
+    """Batch size: amortise IPC without starving the critical path."""
+    return max(1, min(8, n_ops // (n_procs * 8)))
+
+
+def _fallback(a: TileMatrix, ops: list[Op], ib: int, reason: str, policy: str):
+    t0 = time.perf_counter()
+    factors = execute_ops(a, ops, ib)
+    elapsed = time.perf_counter() - t0
+    stats = ParallelRunStats(
+        n_ops=len(ops),
+        n_procs=1,
+        policy=policy,
+        batch=1,
+        elapsed_s=elapsed,
+        per_worker_busy_s={0: elapsed},
+        per_worker_ops={0: len(ops)},
+        mode="serial-fallback",
+        fallback_reason=reason,
+    )
+    return factors, stats
+
+
+def execute_ops_parallel(
+    a: TileMatrix,
+    ops: list[Op],
+    ib: int,
+    *,
+    n_procs: int | None = None,
+    policy: str = "lazy",
+    batch: int | None = None,
+    timeout_s: float = 120.0,
+) -> tuple[TileQRFactors, ParallelRunStats]:
+    """Run an operation list on ``a`` across worker processes.
+
+    ``a`` is *not* mutated (unlike :func:`~repro.qr.reference.execute_ops`):
+    tiles are copied into the shared segment, factored there, and copied
+    back out into the returned :class:`TileQRFactors`.
+
+    Parameters
+    ----------
+    a, ops, ib:
+        As for the serial executor; ``ops`` must come from
+        :func:`repro.qr.ops.expand_plans`.
+    n_procs:
+        Worker process count (default: usable CPUs).  ``1`` falls back to
+        the serial reference executor.
+    policy:
+        Ready-pool discipline, ``"lazy"`` (program order) or
+        ``"aggressive"`` (most recently enabled), mirroring the PRT.
+    batch:
+        Operations dispatched per worker message (default: auto-sized from
+        the op count).
+    timeout_s:
+        Dispatcher watchdog: raise :class:`ParallelExecutionError` instead
+        of hanging if no worker responds for this long.
+    """
+    require(a.m >= a.n, f"tile QR requires m >= n, got {a.m} x {a.n}")
+    require(policy in _POLICIES, f"policy must be one of {_POLICIES}, got {policy!r}")
+    if n_procs is None:
+        n_procs = default_n_procs()
+    check_positive_int(n_procs, "n_procs")
+    n_procs = max(1, min(n_procs, len(ops)))
+    if n_procs == 1:
+        return _fallback(a.copy(), ops, ib, "n_procs=1", policy)
+
+    try:
+        from ..tiles.shared import SharedTileStore
+
+        store = SharedTileStore.create(a, ops, ib)
+    except (ImportError, OSError) as exc:
+        return _fallback(a.copy(), ops, ib, f"shared memory unavailable: {exc}", policy)
+
+    if batch is None:
+        batch = _auto_batch(len(ops), n_procs)
+    check_positive_int(batch, "batch")
+
+    graph = op_dependency_graph(ops)
+    deps_left = graph.n_deps.copy()
+    succ_index, succ_task = graph.succ_index, graph.succ_task
+
+    stats = ParallelRunStats(
+        n_ops=len(ops), n_procs=n_procs, policy=policy, batch=batch,
+        per_worker_busy_s={w: 0.0 for w in range(n_procs)},
+        per_worker_ops={w: 0 for w in range(n_procs)},
+    )
+    ctx = mp.get_context()
+    procs: list[mp.Process] = []
+    conns: list[Connection] = []
+    t_run = time.perf_counter()
+    try:
+        for rank in range(n_procs):
+            parent_conn, child_conn = ctx.Pipe()
+            p = ctx.Process(
+                target=_worker_main,
+                args=(rank, store.name, a.layout, ops, ib, child_conn),
+                daemon=True,
+                name=f"qr-parallel-{rank}",
+            )
+            p.start()
+            child_conn.close()
+            procs.append(p)
+            conns.append(parent_conn)
+        stats.spawn_s = time.perf_counter() - t_run
+
+        ready = _ReadyPool(policy)
+        for idx in range(len(ops)):
+            if deps_left[idx] == 0:
+                ready.push(idx)
+        rank_of = {c: r for r, c in enumerate(conns)}
+        idle = list(range(n_procs - 1, -1, -1))  # pop() yields rank 0 first
+        inflight = 0
+        completed = 0
+
+        def dispatch() -> None:
+            """Feed idle workers from the ready pool."""
+            nonlocal inflight
+            while idle and len(ready):
+                w = idle.pop()
+                take = min(batch, max(1, len(ready) // (len(idle) + 1)))
+                chunk = [ready.pop() for _ in range(min(take, len(ready)))]
+                try:
+                    conns[w].send(chunk)
+                except (BrokenPipeError, OSError) as exc:
+                    raise ParallelExecutionError(
+                        f"worker {w} unreachable (exit code {procs[w].exitcode})"
+                    ) from exc
+                inflight += len(chunk)
+
+        dispatch()
+        while completed < len(ops):
+            if inflight == 0:
+                raise ParallelExecutionError(
+                    f"dispatcher stalled: {completed}/{len(ops)} ops done, "
+                    "none in flight (dependency cycle?)"
+                )
+            got = conn_wait(conns, timeout=timeout_s)
+            t0 = time.perf_counter()
+            if not got:
+                dead = [p.name for p in procs if not p.is_alive()]
+                raise ParallelExecutionError(
+                    f"no worker progress for {timeout_s:.0f}s"
+                    + (f"; dead workers: {dead}" if dead else "")
+                )
+            for conn in got:
+                try:
+                    msg = conn.recv()
+                except EOFError:
+                    w = rank_of[conn]
+                    code = procs[w].exitcode
+                    raise ParallelExecutionError(
+                        f"worker {w} died unexpectedly (exit code {code})"
+                    ) from None
+                if msg[0] == "err":
+                    _, w, idx, tb = msg
+                    raise ParallelExecutionError(
+                        f"worker {w} failed on {ops[idx].describe()}:\n{tb}"
+                    )
+                _, w, done = msg
+                inflight -= len(done)
+                completed += len(done)
+                stats.per_worker_ops[w] += len(done)
+                for idx, secs in done:
+                    stats.per_worker_busy_s[w] += secs
+                    for e in range(succ_index[idx], succ_index[idx + 1]):
+                        d = int(succ_task[e])
+                        deps_left[d] -= 1
+                        if deps_left[d] == 0:
+                            ready.push(d)
+                idle.append(w)
+            dispatch()
+            stats.dispatch_s += time.perf_counter() - t0
+
+        for conn in conns:
+            conn.send(None)
+        for p in procs:
+            p.join(timeout=10.0)
+        stats.elapsed_s = time.perf_counter() - t_run
+
+        factored = store.extract_matrix()
+        ts = store.extract_ts()
+    finally:
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for conn in conns:
+            conn.close()
+        store.close()
+        store.unlink()
+
+    factors = TileQRFactors(a=factored, ib=ib)
+    for op in ops:
+        if op.is_factor:
+            key = ("G", op.i, op.j) if op.kind == "GEQRT" else ("E", op.k2, op.j)
+            factors.records.append(
+                FactorRecord(op.kind, op.i, op.k2, op.j, ts[key], op.m2, op.k)
+            )
+    return factors, stats

@@ -3,10 +3,12 @@
 from .generate import graded_conditioned, least_squares_problem, random_dense, random_tall_skinny
 from .layout import TileLayout
 from .matrix import TileMatrix
+from .shared import SharedTileStore
 
 __all__ = [
     "TileLayout",
     "TileMatrix",
+    "SharedTileStore",
     "random_dense",
     "random_tall_skinny",
     "graded_conditioned",

@@ -22,6 +22,7 @@ __all__ = [
     "ScheduleError",
     "SimulationError",
     "DeadlockError",
+    "ParallelExecutionError",
 ]
 
 
@@ -79,3 +80,7 @@ class SimulationError(ReproError):
 
 class DeadlockError(SimulationError):
     """The simulator or runtime detected that no progress is possible."""
+
+
+class ParallelExecutionError(ReproError):
+    """A worker process of the parallel backend failed or disappeared."""
