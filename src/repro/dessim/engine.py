@@ -60,6 +60,23 @@ class SimResult:
             raise SimulationError("zero makespan")
         return useful_flops / self.makespan / 1e9
 
+    def spans(self) -> list:
+        """The trace as unified :class:`repro.obs.Span` records (virtual time).
+
+        Requires ``simulate(..., record_trace=True)``; raises
+        :class:`~repro.util.errors.TraceError` otherwise.  Use
+        :func:`repro.obs.recorder_from_sim_result` for a full virtual-clock
+        recorder (spans + counters + lane names) ready for export.
+        """
+        from ..obs.adapters import spans_from_des_trace
+        from ..util.errors import TraceError
+
+        if self.trace is None:
+            raise TraceError(
+                "SimResult has no trace; run simulate(..., record_trace=True)"
+            )
+        return spans_from_des_trace(self.trace)
+
 
 def simulate(
     graph: TaskGraph,
@@ -83,6 +100,21 @@ def simulate(
         Runtime overhead added to every task start.
     record_trace:
         Keep the full per-task execution record (small runs only).
+
+    Examples
+    --------
+    Two chained tasks on one worker finish back to back:
+
+    >>> from repro.dessim import TaskGraphBuilder, simulate
+    >>> b = TaskGraphBuilder()
+    >>> t0 = b.add_task(1.0, worker=0, kind=0)
+    >>> t1 = b.add_task(2.0, worker=0, kind=1)
+    >>> b.add_edge(t0, t1)
+    >>> res = simulate(b.build(), record_trace=True)
+    >>> res.makespan
+    3.0
+    >>> [(s.cat, s.start, s.end) for s in res.spans()]
+    [('panel', 0.0, 1.0), ('update', 1.0, 3.0)]
     """
     require(policy in _POLICIES, f"policy must be one of {_POLICIES}")
     if n_workers is None:

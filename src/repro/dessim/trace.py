@@ -6,13 +6,20 @@ per-worker lanes, overlap metrics, ASCII Gantt charts, and CSV exports.
 
 Kind codes follow the paper's trace colouring: ``0`` = flat-tree panel
 kernels (red), ``1`` = flat-tree trailing updates (orange), ``2`` =
-binary-tree kernels (blue).
+binary-tree kernels (blue).  These three codes are the complete vocabulary:
+:func:`lanes_from_trace` raises :class:`~repro.util.errors.TraceError` on
+anything else rather than silently rendering an unknown symbol.
+
+For cross-backend analysis, convert these records to the unified span
+model with :func:`repro.obs.spans_from_des_trace` (or
+``SimResult.spans()``) and export them with :mod:`repro.obs.export`.
 """
 
 from __future__ import annotations
 
 import io
 
+from ..util.errors import TraceError
 from ..util.formatting import ascii_gantt
 
 __all__ = [
@@ -37,10 +44,25 @@ KIND_SYMBOLS = {KIND_PANEL: "F", KIND_UPDATE: "U", KIND_BINARY: "B"}
 def lanes_from_trace(
     trace: list[tuple], n_workers: int
 ) -> list[list[tuple[float, float, str]]]:
-    """Group trace records into per-worker ``(start, end, symbol)`` lanes."""
+    """Group trace records into per-worker ``(start, end, symbol)`` lanes.
+
+    Raises
+    ------
+    TraceError
+        If a record carries a kind code outside :data:`KIND_SYMBOLS` —
+        a silent blank symbol would make the Gantt chart lie about what
+        ran.
+    """
     lanes: list[list[tuple[float, float, str]]] = [[] for _ in range(n_workers)]
     for w, start, end, kind, _meta in trace:
-        lanes[w].append((start, end, KIND_SYMBOLS.get(kind, "?")))
+        symbol = KIND_SYMBOLS.get(kind)
+        if symbol is None:
+            raise TraceError(
+                f"unknown trace kind code {kind!r} in record "
+                f"(worker={w}, start={start}); expected one of "
+                f"{sorted(KIND_SYMBOLS)}"
+            )
+        lanes[w].append((start, end, symbol))
     for lane in lanes:
         lane.sort()
     return lanes

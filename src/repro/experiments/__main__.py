@@ -13,6 +13,12 @@ Paper-size Figure 11 (minutes of simulation)::
 Everything, CSVs written next to the text report::
 
     python -m repro.experiments all --scale 8 --csv-dir results/
+
+Figure 7's execution traces as Perfetto-loadable Chrome-trace JSON (one
+process group per boundary strategy; ``sched`` similarly compares the two
+scheduling policies)::
+
+    python -m repro.experiments fig7 --trace fig7.json
 """
 
 from __future__ import annotations
@@ -80,6 +86,37 @@ def _auto_chart(res):
     return None
 
 
+def _write_des_trace(experiment: str, cfg, path: pathlib.Path) -> int:
+    """Record fig7/sched DES traces and export them as Chrome-trace JSON.
+
+    One process group per compared variant — boundary strategies for fig7,
+    scheduling policies for sched — so the Figure 7-style comparison reads
+    side by side in Perfetto.  Returns the event count written.
+    """
+    from ..obs.export import des_traces_to_chrome, write_chrome_trace
+    from .figure10 import simulate_tree_qr
+
+    groups = {}
+    if experiment == "fig7":
+        m = cfg.fig10_m[1]
+        for label, shifted in (("fixed", False), ("shifted", True)):
+            res, _ = simulate_tree_qr(
+                m, cfg.n, cfg.fig10_cores, "hier", cfg,
+                shifted=shifted, record_trace=True,
+            )
+            groups[label] = res.trace
+    else:  # sched
+        m = cfg.fig11_m
+        for policy in ("lazy", "aggressive"):
+            res, _ = simulate_tree_qr(
+                m, cfg.n, cfg.fig11_cores[0], "hier", cfg,
+                policy=policy, record_trace=True,
+            )
+            groups[policy] = res.trace
+    doc = write_chrome_trace(path, des_traces_to_chrome(groups))
+    return len(doc["traceEvents"])
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -109,7 +146,16 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="with fig7: also print the ASCII execution traces",
     )
+    parser.add_argument(
+        "--trace",
+        type=pathlib.Path,
+        default=None,
+        help="with fig7/sched: write the simulated execution traces as "
+        "Chrome-trace JSON (load in Perfetto)",
+    )
     args = parser.parse_args(argv)
+    if args.trace is not None and args.experiment not in ("fig7", "sched"):
+        parser.error("--trace is only supported for the fig7 and sched experiments")
     cfg = PAPER if args.scale == 1 else scaled(args.scale)
     results = _EXPERIMENTS[args.experiment](cfg)
     for res in results:
@@ -129,6 +175,9 @@ def main(argv: list[str] | None = None) -> int:
             print(f"--- trace ({'shifted' if shifted else 'fixed'} boundaries) ---")
             print(trace_gantt(cfg, shifted=shifted))
             print()
+    if args.trace is not None:
+        n = _write_des_trace(args.experiment, cfg, args.trace)
+        print(f"wrote {args.trace} ({n} trace events)")
     return 0
 
 

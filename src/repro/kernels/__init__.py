@@ -10,8 +10,21 @@ TSMQR    Apply a TSQRT transformation to a pair of trailing tiles.
 TTQRT    Incremental QR of [triangular R; triangular R] (binary tree).
 TTMQR    Apply a TTQRT transformation to a pair of trailing tiles.
 ======== =============================================================
+
+Observability: the six kernels exported here are thin shims over the real
+implementations.  When a recorder is installed (:mod:`repro.obs`) each
+invocation is timed into a :class:`~repro.obs.record.Span` on the calling
+thread's lane and charged with its exact :mod:`~repro.kernels.flops`
+count, so *every* in-process backend (serial reference, PULSAR threads,
+domino array) reports identical per-kernel evidence with no per-backend
+code.  With no recorder the shim is one global load and one branch —
+tracing off costs nothing measurable.
 """
 
+from functools import wraps as _wraps
+
+from ..obs import record as _obs_record
+from ..obs.adapters import KERNEL_CATEGORY as _KERNEL_CATEGORY
 from .flops import (
     geqrt_flops,
     kernel_flops,
@@ -23,9 +36,60 @@ from .flops import (
     ttmqr_flops,
     ttqrt_flops,
 )
-from .geqrt import geqrt, ormqr
+from .geqrt import geqrt as _geqrt, ormqr as _ormqr
 from .householder import larfg, larft_column
-from .tsqrt import tsmqr, tsqrt, ttmqr, ttqrt
+from .tsqrt import (
+    tsmqr as _tsmqr,
+    tsqrt as _tsqrt,
+    ttmqr as _ttmqr,
+    ttqrt as _ttqrt,
+)
+
+
+def _instrumented(kind, flops_of, fn):
+    """Wrap ``fn`` so active recorders see a span + flop counters per call.
+
+    ``flops_of`` maps the call's positional arguments to the same flop
+    count :func:`repro.kernels.flops.kernel_flops` assigns the matching
+    operation-list entry (the tests assert exact equality).
+    """
+    cat = _KERNEL_CATEGORY[kind]
+
+    @_wraps(fn)
+    def wrapper(*args, **kw):
+        rec = _obs_record._RECORDER
+        if rec is None:  # fast path: tracing disabled
+            return fn(*args, **kw)
+        start = rec.now()
+        out = fn(*args, **kw)
+        rec.record_kernel(
+            kind, cat, flops_of(*args), start, rec.now(), _obs_record.current_lane()
+        )
+        return out
+
+    return wrapper
+
+
+geqrt = _instrumented("GEQRT", lambda a, ib: geqrt_flops(a.shape[0], a.shape[1], ib), _geqrt)
+ormqr = _instrumented(
+    "ORMQR",
+    lambda v, t, c: ormqr_flops(v.shape[0], min(v.shape), c.shape[1], t.shape[0]),
+    _ormqr,
+)
+tsqrt = _instrumented(
+    "TSQRT", lambda r, a2, ib: tsqrt_flops(r.shape[0], a2.shape[0], ib), _tsqrt
+)
+tsmqr = _instrumented(
+    "TSMQR",
+    lambda v2, t, c1, c2: tsmqr_flops(v2.shape[1], v2.shape[0], c1.shape[1], t.shape[0]),
+    _tsmqr,
+)
+ttqrt = _instrumented("TTQRT", lambda r1, r2, ib: ttqrt_flops(r1.shape[0], ib), _ttqrt)
+ttmqr = _instrumented(
+    "TTMQR",
+    lambda v2, t, c1, c2: ttmqr_flops(v2.shape[1], c1.shape[1], t.shape[0]),
+    _ttmqr,
+)
 
 __all__ = [
     "larfg",

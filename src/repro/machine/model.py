@@ -30,6 +30,17 @@ __all__ = ["MachineModel", "kraken", "generic_cluster"]
 class MachineModel:
     """Timing model for a cluster of multicore nodes.
 
+    Examples
+    --------
+    >>> from repro.machine import kraken
+    >>> m = kraken()
+    >>> m.cores_per_node, m.workers_per_node
+    (12, 11)
+    >>> m.nodes_for_cores(24), m.workers_for_cores(24)
+    (2, 22)
+    >>> m.wire_seconds(0) == m.latency_s + 2 * m.message_overhead_s
+    True
+
     Attributes
     ----------
     cores_per_node:

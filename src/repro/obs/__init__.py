@@ -1,0 +1,73 @@
+"""Unified observability: spans, counters, and trace export for every backend.
+
+The four execution paths of this library — the serial reference executor,
+the threaded PULSAR runtime, the process-parallel dispatcher, and the
+discrete-event simulator — historically reported what happened in four
+incompatible shapes.  This package gives them one schema:
+
+* :class:`Span` — a named, categorised interval on a worker lane;
+* :class:`Counters` — typed event totals (per-kernel flops, firings,
+  packets by-passed, bytes moved, queue depths);
+* :class:`Recorder` — the process-global sink with a no-op fast path when
+  tracing is disabled;
+* exporters — Chrome-trace/Perfetto JSON (:func:`write_chrome_trace`),
+  summary tables (:func:`span_summary`, :func:`counter_summary`), CSV;
+* :func:`validate_chrome_trace` — structural schema check (also a CLI:
+  ``python -m repro.obs.validate trace.json``).
+
+Quick start: ``qr_factor(a, backend="parallel", trace="t.json")`` records
+spans from whichever backend runs and writes a Perfetto-loadable JSON; see
+``docs/observability.md`` for the per-backend recipes.
+"""
+
+from .adapters import (
+    KERNEL_CATEGORY,
+    KIND_CATEGORY,
+    counters_from_ops,
+    recorder_from_sim_result,
+    spans_from_des_trace,
+)
+from .export import (
+    counter_summary,
+    des_traces_to_chrome,
+    span_summary,
+    spans_to_csv,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from .record import (
+    Counters,
+    Recorder,
+    Span,
+    current_lane,
+    get_recorder,
+    install,
+    recording,
+    set_worker_lane,
+    uninstall,
+)
+from .validate import validate_chrome_trace
+
+__all__ = [
+    "Span",
+    "Counters",
+    "Recorder",
+    "get_recorder",
+    "install",
+    "uninstall",
+    "recording",
+    "set_worker_lane",
+    "current_lane",
+    "KERNEL_CATEGORY",
+    "KIND_CATEGORY",
+    "spans_from_des_trace",
+    "recorder_from_sim_result",
+    "counters_from_ops",
+    "to_chrome_trace",
+    "des_traces_to_chrome",
+    "write_chrome_trace",
+    "span_summary",
+    "counter_summary",
+    "spans_to_csv",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,322 @@
+"""Span/counter recording core of the observability layer.
+
+One process-global :class:`Recorder` (installed with :func:`recording` or
+:func:`install`) collects two kinds of evidence while any backend executes:
+
+* :class:`Span` records — named, categorised ``[start, end)`` intervals on a
+  *lane* (a worker thread, a worker process, a proxy, the dispatcher...);
+* :class:`Counters` — a flat ``name -> float`` accumulator for typed event
+  counts (per-kernel flops, firings, packets forwarded/by-passed, bytes
+  moved, maximum queue depths).  Canonical key names live in the ``K_*``
+  module constants so every backend reports under the same vocabulary.
+
+The design constraint is the **no-op fast path**: instrumented call sites
+(the kernel shim in :mod:`repro.kernels`, the PULSAR runtime, the parallel
+dispatcher) read the module-global ``_RECORDER`` once and branch away when
+it is ``None``.  With no recorder installed the per-call cost is one global
+load and one comparison — unmeasurable next to a NumPy kernel — which is
+how ``qr_factor`` keeps its throughput when tracing is off.
+
+Clocks: a real-time recorder stamps spans with ``time.perf_counter()``
+relative to its installation instant (``Recorder.now``).  Virtual-time
+spans (from the discrete-event simulator) are constructed directly by the
+adapter in :mod:`repro.obs.adapters` with simulated seconds; the recorder's
+``clock`` label travels into the export so tools can tell them apart.
+
+Doctest::
+
+    >>> from repro.obs import recording
+    >>> with recording() as rec:
+    ...     with rec.span("outer", cat="demo"):
+    ...         with rec.span("inner", cat="demo"):
+    ...             rec.count("widgets", 3)
+    >>> [s.name for s in rec.spans]
+    ['inner', 'outer']
+    >>> rec.counters["widgets"]
+    3.0
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "Counters",
+    "Recorder",
+    "get_recorder",
+    "install",
+    "uninstall",
+    "recording",
+    "set_worker_lane",
+    "current_lane",
+    "K_FIRINGS",
+    "K_PACKETS_PUSHED",
+    "K_PACKETS_BYPASSED",
+    "K_BYTES_MOVED",
+    "K_QUEUE_MAX_DEPTH",
+    "K_PROXY_MESSAGES",
+    "K_DISPATCH_BATCHES",
+]
+
+# -- canonical counter keys --------------------------------------------------
+# Per-kernel keys are derived: "flops.<KIND>" and "ops.<KIND>" with KIND one
+# of GEQRT/ORMQR/TSQRT/TSMQR/TTQRT/TTMQR, plus "flops.total"/"ops.total".
+K_FIRINGS = "firings"  # VDP firings (PRT)
+K_PACKETS_PUSHED = "packets.pushed"  # channel pushes (PRT)
+K_PACKETS_BYPASSED = "packets.bypassed"  # pop+forward relays (PRT)
+K_BYTES_MOVED = "bytes.moved"  # payload bytes through channels
+K_QUEUE_MAX_DEPTH = "queue.max_depth"  # deepest channel FIFO observed
+K_PROXY_MESSAGES = "proxy.messages"  # inter-node messages routed by proxies
+K_DISPATCH_BATCHES = "dispatch.batches"  # batches sent to worker processes
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named interval on a lane — the unit every backend reports in.
+
+    Attributes
+    ----------
+    name:
+        What ran (kernel kind, ``"fire"``, ``"proxy"``, ``"dispatch"``...).
+    cat:
+        Coarse grouping used by summaries and trace viewers: kernel spans
+        use the tree-phase categories ``"panel"`` / ``"update"`` /
+        ``"binary"``; runtime events use ``"runtime"``, ``"proxy"``,
+        ``"dispatch"``.
+    start, end:
+        Seconds since the recorder's origin (real time) or simulated
+        seconds (virtual time); ``end >= start``.
+    worker:
+        Lane id — worker thread / process rank / proxy lane.
+    args:
+        Free-form details (op description, VDP tuple, batch size...).
+    """
+
+    name: str
+    cat: str
+    start: float
+    end: float
+    worker: int = 0
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Counters(dict):
+    """A ``name -> float`` accumulator with merge/max semantics.
+
+    A plain dict subclass so exporters can treat it as data; the helpers
+    keep call sites one-liners.
+
+    >>> c = Counters()
+    >>> c.add("flops.GEQRT", 128.0)
+    >>> c.add("flops.GEQRT", 64.0)
+    >>> c.max("queue.max_depth", 3)
+    >>> c.max("queue.max_depth", 2)
+    >>> c["flops.GEQRT"], c["queue.max_depth"]
+    (192.0, 3.0)
+    """
+
+    def add(self, key: str, value: float = 1.0) -> None:
+        """Accumulate ``value`` into ``key`` (missing keys start at 0)."""
+        self[key] = self.get(key, 0.0) + float(value)
+
+    def max(self, key: str, value: float) -> None:
+        """Keep the maximum ever reported for ``key`` (e.g. queue depth)."""
+        value = float(value)
+        if value > self.get(key, float("-inf")):
+            self[key] = value
+
+    def merge(self, other: dict) -> "Counters":
+        """Add every counter of ``other`` into this one; returns self."""
+        for key, value in other.items():
+            self.add(key, value)
+        return self
+
+
+class Recorder:
+    """Thread-safe span/counter sink for one recorded execution.
+
+    Parameters
+    ----------
+    clock:
+        ``"real"`` (spans stamped with :meth:`now`) or ``"virtual"``
+        (spans carry simulated seconds supplied by an adapter).
+
+    Attributes
+    ----------
+    spans:
+        Completed spans in *end-time* order (a span is appended when it
+        closes, so nested spans appear inner-first).
+    counters:
+        The shared :class:`Counters` accumulator.
+    lane_names:
+        Optional ``lane id -> human label`` map filled by the backend
+        adapters (``"worker 0 (node 0)"``, ``"proxy 1"``, ``"dispatcher"``);
+        exported as Chrome-trace thread names.
+    """
+
+    def __init__(self, clock: str = "real"):
+        if clock not in ("real", "virtual"):
+            raise ValueError(f"clock must be 'real' or 'virtual', got {clock!r}")
+        self.clock = clock
+        self.spans: list[Span] = []
+        self.counters = Counters()
+        self.lane_names: dict[int, str] = {}
+        self._t0 = time.perf_counter()
+        self._lock = threading.Lock()
+
+    # -- clock ---------------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since this recorder was created (real-time clock)."""
+        return time.perf_counter() - self._t0
+
+    def from_monotonic(self, t: float) -> float:
+        """Convert an absolute ``time.perf_counter()`` stamp to recorder time.
+
+        Worker *processes* of the parallel backend report absolute
+        monotonic stamps; on platforms where ``perf_counter`` is
+        system-wide (Linux ``CLOCK_MONOTONIC``) this aligns them with the
+        parent's spans.
+        """
+        return t - self._t0
+
+    # -- recording -----------------------------------------------------------
+
+    def add_span(
+        self,
+        name: str,
+        cat: str,
+        start: float,
+        end: float,
+        worker: int = 0,
+        args: dict | None = None,
+    ) -> Span:
+        """Append one completed span (times already in recorder seconds)."""
+        s = Span(name, cat, float(start), float(end), int(worker), dict(args or {}))
+        with self._lock:
+            self.spans.append(s)
+        return s
+
+    def count(self, key: str, value: float = 1.0) -> None:
+        with self._lock:
+            self.counters.add(key, value)
+
+    def record_kernel(
+        self,
+        kind: str,
+        cat: str,
+        flops: float,
+        start: float,
+        end: float,
+        worker: int,
+    ) -> None:
+        """One kernel invocation: span + the four flop/op counters.
+
+        A single-lock fast path for the shim in :mod:`repro.kernels`, which
+        sits on the hot path of every backend.
+        """
+        with self._lock:
+            self.spans.append(Span(kind, cat, start, end, worker))
+            c = self.counters
+            c.add(f"flops.{kind}", flops)
+            c.add(f"ops.{kind}")
+            c.add("flops.total", flops)
+            c.add("ops.total")
+
+    def count_packet(self, key: str, nbytes: float, depth: float | None = None) -> None:
+        """One channel event: bump ``key``, accumulate bytes, track depth.
+
+        A single-lock helper for the PULSAR runtime's push/forward paths.
+        """
+        with self._lock:
+            self.counters.add(key)
+            self.counters.add(K_BYTES_MOVED, nbytes)
+            if depth is not None:
+                self.counters.max(K_QUEUE_MAX_DEPTH, depth)
+
+    def count_max(self, key: str, value: float) -> None:
+        with self._lock:
+            self.counters.max(key, value)
+
+    def name_lane(self, lane: int, name: str) -> None:
+        with self._lock:
+            self.lane_names[lane] = name
+
+    @contextmanager
+    def span(self, name: str, cat: str = "default", worker: int | None = None, **args):
+        """Context manager recording a real-time span around its body."""
+        lane = current_lane() if worker is None else worker
+        start = self.now()
+        try:
+            yield self
+        finally:
+            self.add_span(name, cat, start, self.now(), worker=lane, args=args)
+
+
+# -- process-global recorder -------------------------------------------------
+# Instrumented call sites read this module attribute directly; ``None`` is
+# the disabled fast path.
+_RECORDER: Recorder | None = None
+
+
+def get_recorder() -> Recorder | None:
+    """The currently installed recorder, or ``None`` when tracing is off."""
+    return _RECORDER
+
+
+def install(recorder: Recorder | None = None) -> Recorder:
+    """Install ``recorder`` (or a fresh real-time one) process-globally."""
+    global _RECORDER
+    if recorder is None:
+        recorder = Recorder()
+    _RECORDER = recorder
+    return recorder
+
+
+def uninstall() -> Recorder | None:
+    """Remove the global recorder; returns the one that was installed."""
+    global _RECORDER
+    rec, _RECORDER = _RECORDER, None
+    return rec
+
+
+@contextmanager
+def recording(clock: str = "real"):
+    """Install a fresh :class:`Recorder` for the duration of the block.
+
+    Restores whatever recorder (usually none) was installed before, so
+    nested recordings do not leak.
+    """
+    global _RECORDER
+    prev = _RECORDER
+    rec = Recorder(clock=clock)
+    _RECORDER = rec
+    try:
+        yield rec
+    finally:
+        _RECORDER = prev
+
+
+# -- lanes -------------------------------------------------------------------
+# Which lane the *current thread* reports spans on.  The PULSAR runtime sets
+# this to the worker id inside each worker thread so kernel spans land on
+# the right lane; unset threads (the serial executor) report on lane 0.
+_LANE = threading.local()
+
+
+def set_worker_lane(lane: int) -> None:
+    """Bind the calling thread's spans to ``lane``."""
+    _LANE.value = int(lane)
+
+
+def current_lane() -> int:
+    """The calling thread's span lane (0 when never set)."""
+    return getattr(_LANE, "value", 0)

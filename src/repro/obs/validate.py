@@ -1,0 +1,155 @@
+"""Structural validation of Chrome-trace JSON documents.
+
+A cheap, dependency-free schema check used by the tests and the CI trace
+smoke job: it does not replace loading a file in Perfetto, but it catches
+every malformation we have a name for — missing keys, negative durations,
+timestamps running backwards within a lane, and unmatched ``"B"``/``"E"``
+begin/end pairs.
+
+Run as a module to validate a file from the shell::
+
+    python -m repro.obs.validate trace.json
+
+Doctest::
+
+    >>> from repro.obs import validate_chrome_trace
+    >>> doc = {"traceEvents": [
+    ...     {"name": "a", "ph": "B", "ts": 0.0, "pid": 0, "tid": 0},
+    ...     {"name": "a", "ph": "E", "ts": 5.0, "pid": 0, "tid": 0},
+    ... ]}
+    >>> validate_chrome_trace(doc)["traceEvents"][1]["ph"]
+    'E'
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+import os
+import sys
+
+from ..util.errors import TraceError
+
+__all__ = ["validate_chrome_trace", "main"]
+
+#: Event phases the validator understands (the subset we emit or accept).
+_KNOWN_PH = {"X", "B", "E", "C", "M", "i", "I"}
+#: Phases that must carry a numeric timestamp.
+_TIMED_PH = {"X", "B", "E", "C", "i", "I"}
+
+
+def _check_event(i: int, ev: object) -> dict:
+    if not isinstance(ev, dict):
+        raise TraceError(f"traceEvents[{i}] is not an object: {ev!r}")
+    ph = ev.get("ph")
+    if ph not in _KNOWN_PH:
+        raise TraceError(f"traceEvents[{i}] has unknown phase {ph!r}")
+    if "name" not in ev:
+        raise TraceError(f"traceEvents[{i}] ({ph!r}) has no name")
+    if ph in _TIMED_PH:
+        ts = ev.get("ts")
+        if not isinstance(ts, numbers.Real) or ts < 0:
+            raise TraceError(
+                f"traceEvents[{i}] ({ev.get('name')!r}) has invalid ts {ts!r}"
+            )
+    if ph == "X":
+        dur = ev.get("dur")
+        if not isinstance(dur, numbers.Real) or dur < 0:
+            raise TraceError(
+                f"traceEvents[{i}] ({ev.get('name')!r}) has invalid dur {dur!r}"
+            )
+    return ev
+
+
+def validate_chrome_trace(doc: dict | str | os.PathLike) -> dict:
+    """Validate a Chrome-trace document; returns the parsed document.
+
+    Accepts a parsed dict, a JSON string, or a path to a ``.json`` file.
+
+    Checks
+    ------
+    * the top level is an object with a ``traceEvents`` list;
+    * every event is an object with a known ``ph``, a ``name``, and (for
+      timed phases) a non-negative numeric ``ts`` (``dur`` for ``"X"``);
+    * within each ``(pid, tid)`` lane, timestamps are monotone
+      non-decreasing in file order;
+    * ``"B"``/``"E"`` pairs match per lane with LIFO nesting and matching
+      names, and no ``"B"`` is left open at the end.
+
+    Raises
+    ------
+    TraceError
+        On the first violation found, with the offending event index.
+    """
+    if isinstance(doc, (str, os.PathLike)):
+        text = str(doc)
+        if isinstance(doc, os.PathLike) or text.lstrip()[:1] not in ("{", "["):
+            with open(doc) as fh:
+                doc = json.load(fh)
+        else:
+            doc = json.loads(text)
+    if not isinstance(doc, dict):
+        raise TraceError(f"trace document must be a JSON object, got {type(doc).__name__}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise TraceError("trace document has no 'traceEvents' list")
+
+    last_ts: dict[tuple, float] = {}
+    open_spans: dict[tuple, list[tuple[int, str]]] = {}
+    for i, ev in enumerate(events):
+        ev = _check_event(i, ev)
+        ph = ev["ph"]
+        if ph not in _TIMED_PH:
+            continue
+        lane = (ev.get("pid", 0), ev.get("tid", 0))
+        ts = float(ev["ts"])
+        if ts < last_ts.get(lane, 0.0):
+            raise TraceError(
+                f"traceEvents[{i}]: ts {ts} goes backwards on lane {lane} "
+                f"(previous {last_ts[lane]})"
+            )
+        last_ts[lane] = ts
+        if ph == "B":
+            open_spans.setdefault(lane, []).append((i, ev["name"]))
+        elif ph == "E":
+            stack = open_spans.get(lane)
+            if not stack:
+                raise TraceError(
+                    f"traceEvents[{i}]: 'E' ({ev['name']!r}) with no open 'B' "
+                    f"on lane {lane}"
+                )
+            bi, bname = stack.pop()
+            if bname != ev["name"]:
+                raise TraceError(
+                    f"traceEvents[{i}]: 'E' ({ev['name']!r}) does not match "
+                    f"open 'B' ({bname!r}, traceEvents[{bi}]) on lane {lane}"
+                )
+    dangling = {lane: stack for lane, stack in open_spans.items() if stack}
+    if dangling:
+        lane, stack = next(iter(dangling.items()))
+        bi, bname = stack[-1]
+        raise TraceError(
+            f"unclosed 'B' event {bname!r} (traceEvents[{bi}]) on lane {lane}"
+        )
+    return doc
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: validate each path argument; non-zero exit on the first failure."""
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python -m repro.obs.validate trace.json [...]", file=sys.stderr)
+        return 2
+    for path in argv:
+        try:
+            doc = validate_chrome_trace(path)
+        except (OSError, json.JSONDecodeError, TraceError) as exc:
+            print(f"{path}: INVALID — {exc}", file=sys.stderr)
+            return 1
+        n = len(doc["traceEvents"])
+        print(f"{path}: ok ({n} events)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI smoke job
+    sys.exit(main())

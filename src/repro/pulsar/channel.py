@@ -16,6 +16,10 @@ output channel inserted into the source VDP and once as an input channel
 inserted into the destination VDP (see the paper's Figure 9).  The runtime
 *fuses* the two descriptors at launch; :meth:`Channel.key` is the identity
 used for matching.
+
+Channel traffic is observable: with a recorder installed (:mod:`repro.obs`)
+the runtime charges every push to the ``packets.pushed`` / ``bytes.moved``
+counters and tracks the deepest FIFO seen under ``queue.max_depth``.
 """
 
 from __future__ import annotations

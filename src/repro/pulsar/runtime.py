@@ -20,6 +20,15 @@ Faithful to paper Section IV-B:
 Real Python threads are used, so firing rules, queue synchronisation and
 termination are exercised genuinely; wall-clock *performance* at scale is
 instead measured by the discrete-event backend (:mod:`repro.dessim`).
+
+Observability: when a recorder is installed (:mod:`repro.obs`) each firing
+becomes a ``"fire"`` span on its worker's lane (kernel spans from the VDP
+body nest inside it via the shim in :mod:`repro.kernels`), each proxy gets
+its own lane with a lifetime span, and channel traffic feeds the
+``packets.pushed`` / ``packets.bypassed`` / ``bytes.moved`` /
+``queue.max_depth`` / ``proxy.messages`` counters.  The recorder reference
+is captured once per :meth:`PRT.run`, so the disabled path costs one
+``None`` check per event.
 """
 
 from __future__ import annotations
@@ -31,6 +40,14 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from ..netsim.fabric import Fabric, SendRequest
+from ..obs import record as _obs_record
+from ..obs.record import (
+    K_BYTES_MOVED,
+    K_FIRINGS,
+    K_PACKETS_BYPASSED,
+    K_PACKETS_PUSHED,
+    K_PROXY_MESSAGES,
+)
 from ..util.errors import DeadlockError, NetworkError, RuntimeStateError, TagError, VSAError
 from ..util.validation import check_positive_int, require
 from .channel import Channel
@@ -104,6 +121,7 @@ class PRT:
         self.cfg = cfg
         self.mapping = mapping
         self._abort = threading.Event()
+        self._rec = None  # observability recorder, captured once in run()
         self._errors: list[BaseException] = []
         self._firings = 0
         self._firings_lock = threading.Lock()
@@ -167,16 +185,22 @@ class PRT:
             # Validate on the sending side, before any queueing.
             channel.push(packet)  # raises ChannelError with a good message
             return
+        rec = self._rec
         if channel.is_remote:
             src = self.nodes[channel.src_node]
             with src.cond:
                 src.outgoing.append((channel, packet))
                 src.cond.notify_all()
+            if rec is not None:
+                rec.count_packet(K_PACKETS_PUSHED, packet.nbytes)
         else:
             dst = self.nodes[channel.dst_node]
             with dst.cond:
                 channel.push(packet)
+                depth = len(channel)
                 dst.cond.notify_all()
+            if rec is not None:
+                rec.count_packet(K_PACKETS_PUSHED, packet.nbytes, depth=depth)
 
     def pop(self, channel: Channel) -> Packet:
         dst = self.nodes[channel.dst_node]
@@ -192,6 +216,9 @@ class PRT:
         """By-pass: pop + immediate push of the same packet."""
         pkt = self.pop(in_channel)
         self.push(out_channel, pkt)
+        rec = self._rec
+        if rec is not None:
+            rec.count(K_PACKETS_BYPASSED)
         return pkt
 
     def set_channel_state(self, channel: Channel, *, enabled: bool) -> None:
@@ -221,6 +248,8 @@ class PRT:
         if self._ran:
             raise RuntimeStateError("a PRT instance can only run once")
         self._ran = True
+        # Capture the recorder once; worker/proxy threads read self._rec.
+        self._rec = _obs_record._RECORDER
         t0 = time.perf_counter()
         threads: list[threading.Thread] = []
         for wid in range(self.cfg.total_workers):
@@ -281,6 +310,8 @@ class PRT:
     # -- worker -------------------------------------------------------------------
 
     def _fire(self, vdp: VDP, wid: int) -> None:
+        rec = self._rec
+        start = rec.now() if rec is not None else 0.0
         try:
             vdp.fnc(vdp)
         except BaseException as exc:  # propagate user errors to run()
@@ -290,6 +321,16 @@ class PRT:
                 with node.cond:
                     node.cond.notify_all()
             raise
+        if rec is not None:
+            rec.add_span(
+                "fire",
+                "runtime",
+                start,
+                rec.now(),
+                worker=wid,
+                args={"vdp": str(vdp.tuple), "firing": vdp.firing_index},
+            )
+            rec.count(K_FIRINGS)
         vdp.firing_index += 1
         vdp.counter -= 1
         if vdp.counter <= 0:
@@ -300,6 +341,10 @@ class PRT:
 
     def _worker_loop(self, wid: int) -> None:
         node = self.nodes[wid // self.cfg.workers_per_node]
+        rec = self._rec
+        if rec is not None:
+            _obs_record.set_worker_lane(wid)
+            rec.name_lane(wid, f"worker {wid} (node {node.rank})")
         alive = list(self._worker_vdps[wid])
         aggressive = self.cfg.policy == "aggressive"
         try:
@@ -336,48 +381,69 @@ class PRT:
         The body cycles through the same three operations the paper's proxy
         spends its time in: isend (flush outgoing), irecv/test (poll the
         fabric and route to channels), and completion tests on past sends.
+
+        With a recorder installed the proxy reports on its own lane (after
+        all worker lanes) with one lifetime span; every isend bumps the
+        ``proxy.messages`` counter.
         """
+        rec = self._rec
+        lane = self.cfg.total_workers + node.rank
+        if rec is not None:
+            _obs_record.set_worker_lane(lane)
+            rec.name_lane(lane, f"proxy (node {node.rank})")
+        proxy_start = rec.now() if rec is not None else 0.0
         pending: list[SendRequest] = []
-        while not self._abort.is_set():
-            progress = False
-            # Flush outgoing queues (MPI_Isend).
-            while True:
-                with node.cond:
-                    item = node.outgoing.popleft() if node.outgoing else None
-                if item is None:
-                    break
-                ch, pkt = item
-                pending.append(self.fabric.isend(node.rank, ch.dst_node, ch.tag, pkt.data))
-                progress = True
-            # Drain incoming messages (MPI_Irecv + MPI_Test) and route by
-            # (sender rank, tag).
-            while (msg := self.fabric.poll(node.rank)) is not None:
-                ch = node.routing.get((msg.source, msg.tag))
-                if ch is None:
-                    self._errors.append(
-                        NetworkError(
-                            f"node {node.rank}: no channel for message from "
-                            f"{msg.source} with tag {msg.tag}"
-                        )
+        try:
+            while not self._abort.is_set():
+                progress = False
+                # Flush outgoing queues (MPI_Isend).
+                while True:
+                    with node.cond:
+                        item = node.outgoing.popleft() if node.outgoing else None
+                    if item is None:
+                        break
+                    ch, pkt = item
+                    pending.append(
+                        self.fabric.isend(node.rank, ch.dst_node, ch.tag, pkt.data)
                     )
-                    self._abort.set()
-                    break
+                    if rec is not None:
+                        rec.count(K_PROXY_MESSAGES)
+                    progress = True
+                # Drain incoming messages (MPI_Irecv + MPI_Test) and route by
+                # (sender rank, tag).
+                while (msg := self.fabric.poll(node.rank)) is not None:
+                    ch = node.routing.get((msg.source, msg.tag))
+                    if ch is None:
+                        self._errors.append(
+                            NetworkError(
+                                f"node {node.rank}: no channel for message from "
+                                f"{msg.source} with tag {msg.tag}"
+                            )
+                        )
+                        self._abort.set()
+                        break
+                    with node.cond:
+                        ch.queue.append(Packet(data=msg.payload, nbytes=msg.nbytes))
+                        node.cond.notify_all()
+                    progress = True
+                pending = [r for r in pending if not r.test()]
                 with node.cond:
-                    ch.queue.append(Packet(data=msg.payload, nbytes=msg.nbytes))
-                    node.cond.notify_all()
-                progress = True
-            pending = [r for r in pending if not r.test()]
-            with node.cond:
-                done = (
-                    node.workers_alive == 0
-                    and not node.outgoing
-                    and not pending
-                    and self.fabric.pending_count(node.rank) == 0
+                    done = (
+                        node.workers_alive == 0
+                        and not node.outgoing
+                        and not pending
+                        and self.fabric.pending_count(node.rank) == 0
+                    )
+                if done:
+                    break
+                if not progress:
+                    time.sleep(0.0005)
+        finally:
+            if rec is not None:
+                rec.add_span(
+                    "proxy", "proxy", proxy_start, rec.now(), worker=lane,
+                    args={"node": node.rank},
                 )
-            if done:
-                break
-            if not progress:
-                time.sleep(0.0005)
 
     # -- diagnostics -------------------------------------------------------------------
 

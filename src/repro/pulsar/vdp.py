@@ -15,6 +15,11 @@ one packet.  During a firing the code may pop/push packets in any order —
 including the *by-pass* pattern: pop, immediately forward down an output
 channel, then compute, which is how the QR array overlaps the broadcast of
 Householder transformations with their application (Section V-C).
+
+Firings are observable: with a recorder installed (:mod:`repro.obs`) each
+firing is a ``"fire"`` span carrying the VDP tuple and firing index, with
+kernel spans from the body nested inside, and by-pass relays bump the
+``packets.bypassed`` counter.
 """
 
 from __future__ import annotations

@@ -24,12 +24,26 @@ Backends
     The full 3D virtual systolic array on the threaded PULSAR runtime,
     optionally across several simulated distributed-memory nodes.  Produces
     bit-identical factors to ``serial``; exercises the real dataflow.
+
+Observability
+-------------
+Pass ``trace="run.json"`` to record the execution with :mod:`repro.obs`
+and write a Chrome-trace/Perfetto JSON: every backend reports kernel spans
+in the same schema, plus its own runtime events (firings and proxies for
+``pulsar``, spawn/attach/dispatch for ``parallel``).
+:attr:`QRFactorization.counters` exposes the typed totals — per-kernel
+flops and op counts, packets, bytes, queue depths — whether or not a trace
+was recorded.
 """
 
 from __future__ import annotations
 
+import os
+from contextlib import nullcontext
+
 import numpy as np
 
+from ..obs import record as _obs_record
 from ..tiles.matrix import TileMatrix
 from ..trees.plan import TreeKind, plan_all_panels
 from ..util.errors import ConfigurationError
@@ -46,14 +60,65 @@ class QRFactorization:
     Wraps :class:`~repro.qr.reference.TileQRFactors` with a NumPy-friendly
     surface.  ``Q`` is kept in implicit (tiled Householder) form; use
     :meth:`q_thin` only when the explicit factor is genuinely needed.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import qr_factor
+    >>> a = np.arange(48.0).reshape(12, 4) + 10.0 * np.eye(12, 4)
+    >>> f = qr_factor(a, nb=4, ib=2, tree="flat")
+    >>> f.shape, f.R.shape, f.backend
+    ((12, 4), (4, 4), 'serial')
+    >>> f.residuals(a)["factorization"] < 1e-12
+    True
+    >>> f.counters["ops.GEQRT"]  # one panel tile in a 3x1 tile grid
+    1.0
     """
 
-    def __init__(self, factors: TileQRFactors, tree: TreeKind, backend: str, stats=None):
+    def __init__(
+        self,
+        factors: TileQRFactors,
+        tree: TreeKind,
+        backend: str,
+        stats=None,
+        *,
+        ops=None,
+        ib: int | None = None,
+        recorder=None,
+    ):
         self._factors = factors
         self.tree = tree
         self.backend = backend
         # RunStats (pulsar) / ParallelRunStats (parallel), else None.
         self.stats = stats
+        self._ops = ops
+        self._ib = ib
+        #: The :class:`repro.obs.Recorder` of the run when ``trace=`` was
+        #: given to :func:`qr_factor`, else ``None``.
+        self.recorder = recorder
+        self._counters = None
+
+    @property
+    def counters(self):
+        """Typed event totals of this factorization (:class:`repro.obs.Counters`).
+
+        When the run was traced these are the live recorder's counters
+        (kernel flops plus runtime events); otherwise the per-kernel flop
+        and op counts are derived from the operation list with the exact
+        :func:`repro.kernels.flops.kernel_flops` formulas.  Both paths
+        agree on the kernel keys — the tests assert it.
+        """
+        if self.recorder is not None:
+            return self.recorder.counters
+        if self._counters is None:
+            from ..obs.adapters import counters_from_ops
+            from ..obs.record import Counters
+
+            if self._ops is None or self._ib is None:
+                self._counters = Counters()
+            else:
+                self._counters = counters_from_ops(self._ops, self._ib)
+        return self._counters
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -117,8 +182,20 @@ def qr_factor(
     seed: int | None = None,
     n_procs: int | None = None,
     batch: int | None = None,
+    trace: str | os.PathLike | None = None,
 ) -> QRFactorization:
     """Tree-based tile QR factorization of a tall-and-skinny matrix.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import qr_factor
+    >>> a = np.arange(48.0).reshape(12, 4) + 10.0 * np.eye(12, 4)
+    >>> f = qr_factor(a, nb=4, ib=2, tree="flat")
+    >>> bool(np.allclose(f.q_thin() @ f.R, a))
+    True
+    >>> f.counters["ops.total"]  # 1 GEQRT + 2 TSQRT on a 3x1 tile grid
+    3.0
 
     Parameters
     ----------
@@ -151,6 +228,11 @@ def qr_factor(
         ``backend="parallel"`` only: worker process count (default: usable
         CPUs; ``1`` falls back to serial) and operations per dispatch
         message (default: auto).
+    trace:
+        Path to write a Chrome-trace/Perfetto JSON recording of the
+        execution (any backend; see :mod:`repro.obs`).  Only the
+        factorization itself is recorded — later ``apply_q`` / ``solve``
+        calls are not.  Default off, with zero overhead.
 
     Returns
     -------
@@ -186,33 +268,53 @@ def qr_factor(
     plans = plan_all_panels(kind, tm.mt, tm.nt, h=h, shifted=shifted)
     ops = expand_plans(tm.layout, plans)
 
-    if backend == "serial":
-        factors = execute_ops(tm, ops, ib)
-        return QRFactorization(factors, kind, backend)
-    if backend == "parallel":
-        from .parallel import execute_ops_parallel
+    # The recording window covers only the backend execution: factor
+    # assembly and any later apply_q/solve calls stay out of the evidence.
+    ctx = _obs_record.recording() if trace is not None else nullcontext(None)
+    with ctx as recorder:
+        if backend == "serial":
+            if recorder is not None:
+                recorder.name_lane(0, "serial")
+            factors = execute_ops(tm, ops, ib)
+            stats = None
+        elif backend == "parallel":
+            from .parallel import execute_ops_parallel
 
-        factors, stats = execute_ops_parallel(
-            tm, ops, ib, n_procs=n_procs, policy=policy, batch=batch
-        )
-        return QRFactorization(factors, kind, backend, stats=stats)
-    if backend == "pulsar":
-        from .collector import assemble_factors
-        from .vsa3d import build_qr_vsa
+            factors, stats = execute_ops_parallel(
+                tm, ops, ib, n_procs=n_procs, policy=policy, batch=batch
+            )
+        elif backend == "pulsar":
+            from .collector import assemble_factors
+            from .vsa3d import build_qr_vsa
 
-        total = n_nodes * workers_per_node
-        arr = build_qr_vsa(tm, plans, ib=ib, total_workers=total)
-        stats = arr.run(
-            n_nodes=n_nodes,
-            workers_per_node=workers_per_node,
-            policy=policy,
-            seed=seed,
-        )
-        factors = assemble_factors(arr.store, ops, ib)
-        return QRFactorization(factors, kind, backend, stats=stats)
-    raise ConfigurationError(
-        f"unknown backend {backend!r}; expected 'serial', 'parallel', or 'pulsar'"
+            total = n_nodes * workers_per_node
+            arr = build_qr_vsa(tm, plans, ib=ib, total_workers=total)
+            stats = arr.run(
+                n_nodes=n_nodes,
+                workers_per_node=workers_per_node,
+                policy=policy,
+                seed=seed,
+            )
+            factors = assemble_factors(arr.store, ops, ib)
+        else:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; expected 'serial', 'parallel', "
+                "or 'pulsar'"
+            )
+    f = QRFactorization(
+        factors, kind, backend, stats=stats, ops=ops, ib=ib, recorder=recorder
     )
+    if trace is not None:
+        from ..obs.export import write_chrome_trace
+
+        write_chrome_trace(
+            trace,
+            recorder.spans,
+            counters=f.counters,
+            clock=recorder.clock,
+            lane_names=recorder.lane_names,
+        )
+    return f
 
 
 def lstsq(
@@ -224,5 +326,14 @@ def lstsq(
 
     The paper's motivating application (Section I).  Keyword arguments are
     forwarded to :func:`qr_factor`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import lstsq
+    >>> a = np.arange(48.0).reshape(12, 4) + 10.0 * np.eye(12, 4)
+    >>> x = lstsq(a, a @ np.ones(4), nb=4, ib=2)
+    >>> bool(np.allclose(x, np.ones(4)))
+    True
     """
     return qr_factor(a, **kw).solve(b)

@@ -24,6 +24,14 @@ the tests assert exactly that.
 When ``n_procs == 1`` or shared memory is unavailable the executor falls
 back to the serial reference (same factors, ``stats.mode`` records the
 fallback) instead of failing.
+
+Observability: workers report each op as absolute ``perf_counter`` start /
+end stamps (system-wide ``CLOCK_MONOTONIC`` on Linux), so with a recorder
+installed (:mod:`repro.obs`) the parent converts them into kernel spans on
+per-process lanes — aligned with its own ``spawn`` / ``attach`` /
+``dispatch`` spans — and charges the exact :mod:`repro.kernels.flops`
+count per completed op.  Batches sent to workers bump the
+``dispatch.batches`` counter.
 """
 
 from __future__ import annotations
@@ -37,6 +45,9 @@ from dataclasses import dataclass, field
 from multiprocessing.connection import Connection, wait as conn_wait
 
 from .. import kernels
+from ..obs import record as _obs_record
+from ..obs.adapters import KERNEL_CATEGORY
+from ..obs.record import K_DISPATCH_BATCHES
 from ..tiles.layout import TileLayout
 from ..tiles.matrix import TileMatrix
 from ..util.errors import ParallelExecutionError
@@ -146,16 +157,27 @@ def _worker_main(
     ib: int,
     conn: Connection,
 ) -> None:
-    """Worker loop: attach to the store once, then execute index batches."""
+    """Worker loop: attach to the store once, then execute index batches.
+
+    Per-op timings travel back as absolute ``perf_counter`` stamps so the
+    parent can place them on the recorder's timeline (see module
+    docstring); the parent computes busy seconds from the same stamps.
+    """
     from ..tiles.shared import SharedTileStore
 
+    # A forked child inherits the parent's recorder; spans must be recorded
+    # by the parent from the reported stamps, not duplicated here.
+    _obs_record._RECORDER = None
+
+    t_attach0 = time.perf_counter()
     store = SharedTileStore.attach(shm_name, layout, ops, ib)
     try:
+        conn.send(("attached", rank, t_attach0, time.perf_counter()))
         while True:
             batch = conn.recv()
             if batch is None:
                 break
-            done: list[tuple[int, float]] = []
+            done: list[tuple[int, float, float]] = []
             for idx in batch:
                 t0 = time.perf_counter()
                 try:
@@ -163,7 +185,7 @@ def _worker_main(
                 except BaseException:
                     conn.send(("err", rank, idx, traceback.format_exc()))
                     return
-                done.append((idx, time.perf_counter() - t0))
+                done.append((idx, t0, time.perf_counter()))
             conn.send(("done", rank, done))
     except (EOFError, KeyboardInterrupt):  # parent went away: just exit
         pass
@@ -283,6 +305,11 @@ def execute_ops_parallel(
         per_worker_busy_s={w: 0.0 for w in range(n_procs)},
         per_worker_ops={w: 0 for w in range(n_procs)},
     )
+    rec = _obs_record._RECORDER
+    if rec is not None:
+        for w in range(n_procs):
+            rec.name_lane(w, f"proc {w}")
+        rec.name_lane(n_procs, "dispatcher")
     ctx = mp.get_context()
     procs: list[mp.Process] = []
     conns: list[Connection] = []
@@ -301,6 +328,12 @@ def execute_ops_parallel(
             procs.append(p)
             conns.append(parent_conn)
         stats.spawn_s = time.perf_counter() - t_run
+        if rec is not None:
+            end = rec.now()
+            rec.add_span(
+                "spawn", "dispatch", end - stats.spawn_s, end, worker=n_procs,
+                args={"n_procs": n_procs},
+            )
 
         ready = _ReadyPool(policy)
         for idx in range(len(ops)):
@@ -324,6 +357,8 @@ def execute_ops_parallel(
                     raise ParallelExecutionError(
                         f"worker {w} unreachable (exit code {procs[w].exitcode})"
                     ) from exc
+                if rec is not None:
+                    rec.count(K_DISPATCH_BATCHES)
                 inflight += len(chunk)
 
         dispatch()
@@ -355,12 +390,31 @@ def execute_ops_parallel(
                     raise ParallelExecutionError(
                         f"worker {w} failed on {ops[idx].describe()}:\n{tb}"
                     )
+                if msg[0] == "attached":
+                    _, w, a0, a1 = msg
+                    if rec is not None:
+                        rec.add_span(
+                            "attach", "dispatch",
+                            rec.from_monotonic(a0), rec.from_monotonic(a1),
+                            worker=w,
+                        )
+                    continue
                 _, w, done = msg
                 inflight -= len(done)
                 completed += len(done)
                 stats.per_worker_ops[w] += len(done)
-                for idx, secs in done:
-                    stats.per_worker_busy_s[w] += secs
+                for idx, op_t0, op_t1 in done:
+                    stats.per_worker_busy_s[w] += op_t1 - op_t0
+                    if rec is not None:
+                        op = ops[idx]
+                        rec.record_kernel(
+                            op.kind,
+                            KERNEL_CATEGORY[op.kind],
+                            kernels.kernel_flops(op.kind, op.m2, op.k, op.q, ib),
+                            rec.from_monotonic(op_t0),
+                            rec.from_monotonic(op_t1),
+                            w,
+                        )
                     for e in range(succ_index[idx], succ_index[idx + 1]):
                         d = int(succ_task[e])
                         deps_left[d] -= 1

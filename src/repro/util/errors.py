@@ -23,6 +23,7 @@ __all__ = [
     "SimulationError",
     "DeadlockError",
     "ParallelExecutionError",
+    "TraceError",
 ]
 
 
@@ -84,3 +85,8 @@ class DeadlockError(SimulationError):
 
 class ParallelExecutionError(ReproError):
     """A worker process of the parallel backend failed or disappeared."""
+
+
+class TraceError(ReproError, ValueError):
+    """Malformed execution-trace data (unknown kind code, invalid
+    Chrome-trace JSON, unmatched begin/end events...)."""

@@ -1,0 +1,29 @@
+"""Run the public-API doctests as part of the tier-1 suite.
+
+The same modules are exercised in CI via ``pytest --doctest-modules``; this
+wrapper keeps the examples honest for anyone running plain ``pytest tests/``.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+
+import pytest
+
+DOCTESTED_MODULES = [
+    "repro.qr.api",
+    "repro.obs.record",
+    "repro.obs.export",
+    "repro.obs.validate",
+    "repro.machine.model",
+    "repro.dessim.engine",
+]
+
+
+@pytest.mark.parametrize("modname", DOCTESTED_MODULES)
+def test_module_doctests(modname):
+    mod = importlib.import_module(modname)
+    result = doctest.testmod(mod, verbose=False, optionflags=doctest.ELLIPSIS)
+    assert result.attempted > 0, f"{modname} has no doctest examples"
+    assert result.failed == 0, f"{modname}: {result.failed} doctest failure(s)"

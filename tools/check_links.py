@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Markdown link checker (zero-dependency, offline).
+
+Scans markdown files for ``[text](target)`` links and verifies that
+
+* relative file targets exist (resolved against the file's directory);
+* ``#anchor`` fragments — standalone or attached to a file target — match
+  a heading in the target document (GitHub slug rules: lowercase, spaces
+  to dashes, punctuation dropped);
+* ``http(s)`` / ``mailto`` links are *not* fetched (CI has no business
+  depending on the network); they are only checked for empty targets.
+
+Usage::
+
+    python tools/check_links.py README.md DESIGN.md docs/*.md
+    python tools/check_links.py            # default documentation set
+
+Exit status is the number of broken links (0 = all good).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+# Inline links: [text](target "title")  — skips images' leading "!" so alt
+# text is still captured by the same pattern.
+_LINK_RE = re.compile(r"\[(?:[^\]\[]|\[[^\]]*\])*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+DEFAULT_FILES = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "docs/architecture.md",
+    "docs/observability.md",
+)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    # Strip inline code/emphasis markers and links, keep the visible text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").replace("*", "").replace("_", " ").strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: pathlib.Path) -> set[str]:
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = _HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def iter_links(path: pathlib.Path):
+    """Yield ``(line_number, target)`` for every inline link outside code fences."""
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in _LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check_file(path: pathlib.Path, repo_root: pathlib.Path) -> list[str]:
+    errors: list[str] = []
+    try:
+        shown = path.relative_to(repo_root)
+    except ValueError:
+        shown = path
+    for lineno, target in iter_links(path):
+        where = f"{shown}:{lineno}"
+        if not target:
+            errors.append(f"{where}: empty link target")
+            continue
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue  # never fetched; presence is enough
+        base, _, fragment = target.partition("#")
+        dest = path if not base else (path.parent / base).resolve()
+        if base:
+            if not dest.exists():
+                errors.append(f"{where}: missing file {target!r}")
+                continue
+        if fragment and dest.suffix == ".md" and dest.is_file():
+            if fragment.lower() not in heading_slugs(dest):
+                errors.append(f"{where}: no heading for anchor {target!r}")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    paths = [pathlib.Path(p).resolve() for p in argv] if argv else [
+        repo_root / rel for rel in DEFAULT_FILES if (repo_root / rel).exists()
+    ]
+    errors: list[str] = []
+    for path in paths:
+        if not path.exists():
+            errors.append(f"{path}: file not found")
+            continue
+        errors.extend(check_file(path, repo_root))
+    for err in errors:
+        print(err, file=sys.stderr)
+    checked = len(paths)
+    print(f"checked {checked} file(s): {len(errors)} broken link(s)")
+    return min(len(errors), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
