@@ -29,9 +29,10 @@ from typing import TYPE_CHECKING
 
 __version__ = "1.0.0"
 
-__all__ = ["qr_factor", "lstsq", "QRFactorization", "__version__"]
+__all__ = ["qr_factor", "lstsq", "QRFactorization", "FaultPlan", "__version__"]
 
 if TYPE_CHECKING:  # pragma: no cover - import-time typing only
+    from .faults import FaultPlan
     from .qr.api import QRFactorization, lstsq, qr_factor
 
 
@@ -41,4 +42,8 @@ def __getattr__(name: str):
         from .qr import api
 
         return getattr(api, name)
+    if name == "FaultPlan":
+        from .faults import FaultPlan
+
+        return FaultPlan
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

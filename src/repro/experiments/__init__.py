@@ -7,6 +7,7 @@ rendering mirrors the corresponding paper artefact.  The CLI
 never drift apart.
 """
 
+from .chaos import run_chaos
 from .crossover import find_crossover, run_crossover
 from .figure7 import run_figure7, trace_gantt
 from .mapping_ablation import LAUNCH_CONFIGS, run_mapping_ablation
@@ -44,4 +45,5 @@ __all__ = [
     "LAUNCH_CONFIGS",
     "find_crossover",
     "run_crossover",
+    "run_chaos",
 ]

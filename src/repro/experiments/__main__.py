@@ -29,6 +29,7 @@ import sys
 
 from . import (
     PAPER,
+    run_chaos,
     run_crossover,
     run_mapping_ablation,
     run_memory_limits,
@@ -55,9 +56,11 @@ _EXPERIMENTS = {
     "memory": lambda cfg: [run_memory_limits(cfg)],
     "mapping": lambda cfg: [run_mapping_ablation(cfg)],
     "crossover": lambda cfg: [run_crossover(cfg)],
+    "chaos": lambda cfg: [run_chaos(cfg)],
 }
 _EXPERIMENTS["all"] = lambda cfg: [r for k in (
-    "fig10", "fig11", "fig7", "sec6a", "tuning", "sched", "weak", "memory", "mapping", "crossover"
+    "fig10", "fig11", "fig7", "sec6a", "tuning", "sched", "weak", "memory", "mapping",
+    "crossover", "chaos",
 ) for r in _EXPERIMENTS[k](cfg)]
 
 

@@ -1,0 +1,24 @@
+"""Deterministic fault injection and hang protection.
+
+The reproduction's premise — a lightweight runtime driving thousands of
+cores through one proxy thread — only holds at scale if lost packets, dead
+workers, and silent stalls are *survivable*, not fatal.  This package
+provides the injection side of that story; the recovery machinery lives in
+the components it exercises:
+
+* :class:`FaultPlan` — a seeded drop/duplicate/delay/crash schedule
+  consumed by the message fabric (:mod:`repro.netsim`) and the parallel
+  backend's workers (:mod:`repro.qr.parallel`);
+* :class:`Watchdog` — a polled no-progress detector raising
+  :class:`~repro.util.errors.WatchdogTimeout` with a diagnostic report
+  instead of hanging.
+
+Recovery guarantees per backend are documented in ``docs/robustness.md``;
+the chaos experiment (``python -m repro.experiments chaos``) sweeps fault
+rates and verifies bit-exact factors under injection.
+"""
+
+from .plan import FaultPlan
+from .watchdog import Watchdog
+
+__all__ = ["FaultPlan", "Watchdog"]

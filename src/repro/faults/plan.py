@@ -1,0 +1,150 @@
+"""Seeded, deterministic fault plans.
+
+A :class:`FaultPlan` is a *schedule* of faults, not a fault generator: every
+decision ("is the 7th send on stream ``(src, dst, tag)`` dropped?") is a
+pure function of the plan's seed and the event coordinates, computed with a
+keyed BLAKE2b hash.  That gives three properties the recovery machinery and
+the tests rely on:
+
+* **reproducible** — the same plan injects the same faults into the same
+  event sequence, in any process (no dependence on Python's per-process
+  ``hash()`` randomisation, so the crash schedule evaluated inside a worker
+  process agrees with the parent's expectation);
+* **stateless** — the plan object carries no mutable counters, so it can be
+  shared by every rank of the fabric and pickled into worker processes;
+* **independent** — drop/duplicate/delay decisions for different events are
+  decorrelated, like real packet loss.
+
+Consumers:
+
+* :class:`repro.netsim.Fabric` consults :meth:`drop` / :meth:`duplicate` /
+  :meth:`delay` per send, keyed by the per-stream send ordinal;
+* the parallel dispatcher (:mod:`repro.qr.parallel`) passes the plan to its
+  workers, which consult :meth:`worker_crash` before each operation and
+  die abruptly when told to (generation 0 only, so a respawned worker does
+  not crash-loop).
+
+``FaultPlan()`` with no rates is the identity plan: every predicate is
+``False`` and the fast-path checks (:attr:`faulty_fabric`,
+:attr:`faulty_workers`) let call sites skip hashing entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+
+from ..util.errors import ConfigurationError
+from ..util.validation import check_nonnegative_int
+
+__all__ = ["FaultPlan"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic drop/duplicate/delay/crash schedule.
+
+    Parameters
+    ----------
+    seed:
+        Root of the decision hash; two plans with different seeds inject
+        statistically independent fault patterns.
+    drop_rate, duplicate_rate, delay_rate:
+        Per-send probabilities in ``[0, 1)`` that a fabric send is lost,
+        delivered twice, or delayed.  Rates apply independently per send
+        (retransmits are new sends and roll new dice — with the proxy's
+        retry budget of ``n`` attempts a packet is lost for good only with
+        probability ``drop_rate**n``).
+    delay_ticks:
+        Artificial delivery delay, in fabric poll ticks, applied to delayed
+        (and duplicated) messages.
+    crash_workers:
+        ``worker rank -> op ordinal`` schedule for the parallel backend: the
+        first process incarnation of ``rank`` calls ``os._exit`` immediately
+        before executing its ``ordinal``-th operation (0-based, counted per
+        process).  Respawned incarnations (generation > 0) never crash, so
+        recovery always converges.
+
+    Examples
+    --------
+    >>> plan = FaultPlan(seed=7, drop_rate=0.5)
+    >>> decisions = [plan.drop(0, 1, 3, n) for n in range(8)]
+    >>> decisions == [plan.drop(0, 1, 3, n) for n in range(8)]  # reproducible
+    True
+    >>> FaultPlan().faulty_fabric, FaultPlan(crash_workers={1: 4}).faulty_workers
+    (False, True)
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_ticks: float = 8.0
+    crash_workers: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_nonnegative_int(self.seed, "seed")
+        for name in ("drop_rate", "duplicate_rate", "delay_rate"):
+            rate = getattr(self, name)
+            if not isinstance(rate, (int, float)) or not 0.0 <= float(rate) < 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1), got {rate!r}")
+        for rank, ordinal in self.crash_workers.items():
+            check_nonnegative_int(rank, "crash_workers rank")
+            check_nonnegative_int(ordinal, "crash_workers ordinal")
+
+    # -- fast-path predicates ------------------------------------------------
+
+    @property
+    def faulty_fabric(self) -> bool:
+        """True when any fabric-level fault can ever fire."""
+        return (self.drop_rate > 0.0 or self.duplicate_rate > 0.0
+                or self.delay_rate > 0.0)
+
+    @property
+    def faulty_workers(self) -> bool:
+        """True when any worker crash is scheduled."""
+        return bool(self.crash_workers)
+
+    # -- decision hash -------------------------------------------------------
+
+    def _u(self, kind: str, *coords: int) -> float:
+        """Uniform-in-[0,1) decision variable for one fault coordinate.
+
+        Keyed BLAKE2b over (seed, kind, coords): stable across processes
+        and platforms, independent across coordinates.
+        """
+        h = hashlib.blake2b(digest_size=8, key=self.seed.to_bytes(8, "little"))
+        h.update(kind.encode())
+        h.update(struct.pack(f"<{len(coords)}q", *coords))
+        return int.from_bytes(h.digest(), "little") / 2.0**64
+
+    # -- fabric faults -------------------------------------------------------
+
+    def drop(self, src: int, dst: int, tag: int, ordinal: int) -> bool:
+        """Is the ``ordinal``-th send on stream ``(src, dst, tag)`` lost?"""
+        return (self.drop_rate > 0.0
+                and self._u("drop", src, dst, tag, ordinal) < self.drop_rate)
+
+    def duplicate(self, src: int, dst: int, tag: int, ordinal: int) -> bool:
+        """Is that send delivered twice (second copy arrives late)?"""
+        return (self.duplicate_rate > 0.0
+                and self._u("dup", src, dst, tag, ordinal) < self.duplicate_rate)
+
+    def delay(self, src: int, dst: int, tag: int, ordinal: int) -> float:
+        """Extra delivery delay in poll ticks (0.0 = deliver normally)."""
+        if (self.delay_rate > 0.0
+                and self._u("delay", src, dst, tag, ordinal) < self.delay_rate):
+            # Spread delays in (0, delay_ticks] so ties stay rare.
+            return self.delay_ticks * (0.25 + 0.75 * self._u("dlen", src, dst, tag, ordinal))
+        return 0.0
+
+    # -- worker faults -------------------------------------------------------
+
+    def worker_crash(self, rank: int, generation: int, ops_done: int) -> bool:
+        """Should worker ``rank`` die right before its ``ops_done``-th op?
+
+        Only generation 0 (the original process) crashes; a respawned
+        worker runs its schedule clean.
+        """
+        return generation == 0 and self.crash_workers.get(rank) == ops_done

@@ -1,0 +1,90 @@
+"""No-progress watchdog: convert hangs into timed, diagnosable errors.
+
+A distributed run can stall in ways a deadlock detector on any single
+component cannot see (a lost message whose retransmit budget is exhausted,
+a dead worker holding the critical path, a dependency cycle).  The
+:class:`Watchdog` pattern used by the PULSAR monitor loop and the parallel
+dispatcher is deliberately simple:
+
+* the supervised loop calls :meth:`note_progress` with a monotonically
+  observable progress value (firings count, completed op count);
+* it calls :meth:`check` periodically; if the value has not advanced for
+  longer than ``timeout_s``, :meth:`check` raises
+  :class:`~repro.util.errors.WatchdogTimeout` whose message carries a
+  caller-supplied report of what was stuck.
+
+The watchdog never owns a thread — it is polled from the loop it guards,
+so it costs two ``perf_counter`` reads per check and cannot itself leak.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+from ..util.errors import WatchdogTimeout
+from ..util.validation import check_positive
+
+__all__ = ["Watchdog"]
+
+
+class Watchdog:
+    """Raise :class:`WatchdogTimeout` when progress stops for ``timeout_s``.
+
+    Parameters
+    ----------
+    timeout_s:
+        Seconds of unchanged progress value tolerated before :meth:`check`
+        raises.
+    what:
+        Short label of the supervised component, used in the error message.
+    report:
+        Optional zero-argument callable producing a diagnostic string at
+        failure time (e.g. the runtime's ``_deadlock_report``); called only
+        when the watchdog fires.
+
+    Examples
+    --------
+    >>> wd = Watchdog(10.0, what="demo")
+    >>> wd.note_progress(1)
+    >>> wd.check()          # recent progress: no raise
+    >>> wd.stalled_for() < 10.0
+    True
+    """
+
+    def __init__(
+        self,
+        timeout_s: float,
+        *,
+        what: str = "run",
+        report: Callable[[], str] | None = None,
+    ):
+        self.timeout_s = check_positive(timeout_s, "timeout_s")
+        self.what = what
+        self.report = report
+        self._last_value: object = None
+        self._last_change = time.perf_counter()
+
+    def note_progress(self, value: object) -> None:
+        """Record the current progress value; a change resets the clock."""
+        if value != self._last_value:
+            self._last_value = value
+            self._last_change = time.perf_counter()
+
+    def stalled_for(self) -> float:
+        """Seconds since the progress value last changed."""
+        return time.perf_counter() - self._last_change
+
+    def expired(self) -> bool:
+        """True when the stall has exceeded the timeout (does not raise)."""
+        return self.stalled_for() > self.timeout_s
+
+    def check(self) -> None:
+        """Raise :class:`WatchdogTimeout` if the stall exceeded the timeout."""
+        stalled = self.stalled_for()
+        if stalled <= self.timeout_s:
+            return
+        msg = f"{self.what}: no progress for {stalled:.1f}s (timeout {self.timeout_s:.1f}s)"
+        if self.report is not None:
+            msg = f"{msg}\n{self.report()}"
+        raise WatchdogTimeout(msg)

@@ -12,7 +12,19 @@ living inside one OS process:
 * payloads are deep-copied at send time, enforcing distributed-memory
   semantics — a rank can never observe another rank's later mutations;
 * optional delivery jitter, which delays and interleaves deliveries across
-  (src, dst) pairs to shake out ordering assumptions in tests.
+  (src, dst) pairs to shake out ordering assumptions in tests;
+* optional *fault injection*: a seeded :class:`~repro.faults.FaultPlan`
+  makes the fabric lose, duplicate, or delay individual sends
+  deterministically.  Jitter shakes out ordering bugs; faults shake out
+  *loss* bugs — the ack/retransmit protocol in the PULSAR proxy
+  (:mod:`repro.pulsar.runtime`) exists to survive exactly these.
+
+A dropped send still completes its :class:`SendRequest` — as on a real
+lossy network, the sender cannot tell; a delayed or duplicated delivery
+deliberately breaks per-stream FIFO (the duplicate arrives late), so
+consumers running under a fault plan must sequence-number their traffic.
+Fault events are counted on the fabric (``dropped_messages``...) and, when
+an observability recorder is installed, under the ``fault.*`` counters.
 
 This is the substitution for Cray MPICH2 (see DESIGN.md): the runtime above
 it is agnostic to whether messages cross a SeaStar2+ link or a queue.
@@ -28,6 +40,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import record as _obs_record
+from ..obs.record import K_FAULT_DELAY, K_FAULT_DROP, K_FAULT_DUPLICATE
 from ..util.errors import NetworkError, TagError
 from ..util.validation import check_nonnegative_int, check_positive_int
 
@@ -102,6 +116,11 @@ class Fabric:
         Seed for the jitter stream.
     max_tag:
         Upper bound on accepted tags (defaults to the 16K the paper cites).
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan`; when it can inject
+        fabric faults, each send consults it (keyed by the per-stream send
+        ordinal) and may be dropped, duplicated, or delayed.  ``None`` or
+        an all-zero plan costs nothing on the send path.
     """
 
     def __init__(
@@ -111,10 +130,18 @@ class Fabric:
         jitter: float = 0.0,
         seed: int | None = None,
         max_tag: int = MAX_TAG,
+        fault_plan=None,
     ):
         check_positive_int(n_ranks, "n_ranks")
         self.n_ranks = n_ranks
         self.max_tag = check_positive_int(max_tag, "max_tag")
+        # Keep the no-fault fast path free of hashing: a plan that can
+        # never fire is the same as no plan.
+        self._plan = fault_plan if fault_plan is not None and fault_plan.faulty_fabric else None
+        self._send_ordinal: dict[tuple[int, int, int], int] = {}
+        self.dropped_messages = 0
+        self.duplicated_messages = 0
+        self.delayed_messages = 0
         self._lock = threading.Lock()
         self._mailboxes: list[list[Message]] = [[] for _ in range(n_ranks)]
         # Jitter state: a per-destination priority queue keyed by an
@@ -151,17 +178,57 @@ class Fabric:
                 raise NetworkError("fabric has been shut down")
             self.sent_messages += 1
             self.sent_bytes += nbytes
-            if self._jitter > 0.0:
-                base = next(self._clock)
-                t = base + float(self._rng.uniform(0.0, self._jitter))
-                key = (source, dest, tag)
-                t = max(t, self._last_time.get(key, -1.0) + 1e-9)
-                self._last_time[key] = t
-                heapq.heappush(self._pending[dest], (t, base, msg))
+            plan = self._plan
+            if plan is None:
+                self._enqueue(source, dest, tag, msg)
             else:
-                self._mailboxes[dest].append(msg)
+                key = (source, dest, tag)
+                ordinal = self._send_ordinal.get(key, 0)
+                self._send_ordinal[key] = ordinal + 1
+                if plan.drop(source, dest, tag, ordinal):
+                    # Lost on the wire: the send "completes" (the sender
+                    # cannot tell), the message never arrives.
+                    self.dropped_messages += 1
+                    self._count_fault(K_FAULT_DROP)
+                    req._done.set()
+                    return req
+                extra = plan.delay(source, dest, tag, ordinal)
+                if extra > 0.0:
+                    self.delayed_messages += 1
+                    self._count_fault(K_FAULT_DELAY)
+                self._enqueue(source, dest, tag, msg, extra=extra)
+                if plan.duplicate(source, dest, tag, ordinal):
+                    self.duplicated_messages += 1
+                    self._count_fault(K_FAULT_DUPLICATE)
+                    dup = Message(
+                        source=source, tag=tag,
+                        payload=_copy_payload(msg.payload), nbytes=nbytes,
+                    )
+                    self._enqueue(source, dest, tag, dup, extra=plan.delay_ticks)
         req._done.set()
         return req
+
+    def _enqueue(self, source: int, dest: int, tag: int, msg: Message, extra: float = 0.0) -> None:
+        """Queue one delivery (lock held).  ``extra`` is a fault delay in
+        ticks; it bypasses the per-stream FIFO clamp on purpose — breaking
+        arrival order is the fault being injected."""
+        if self._jitter > 0.0 or extra > 0.0:
+            base = next(self._clock)
+            t = base + extra
+            if self._jitter > 0.0:
+                t += float(self._rng.uniform(0.0, self._jitter))
+                if extra == 0.0:
+                    key = (source, dest, tag)
+                    t = max(t, self._last_time.get(key, -1.0) + 1e-9)
+                    self._last_time[key] = t
+            heapq.heappush(self._pending[dest], (t, base, msg))
+        else:
+            self._mailboxes[dest].append(msg)
+
+    def _count_fault(self, key: str) -> None:
+        rec = _obs_record._RECORDER
+        if rec is not None:
+            rec.count(key)
 
     # -- receiving ---------------------------------------------------------
 
@@ -174,7 +241,7 @@ class Fabric:
         """
         self._check_rank(rank, "rank")
         with self._lock:
-            if self._jitter > 0.0 and self._pending[rank]:
+            if self._pending[rank]:
                 now = next(self._clock)
                 while self._pending[rank] and self._pending[rank][0][0] <= now:
                     self._mailboxes[rank].append(heapq.heappop(self._pending[rank])[2])

@@ -60,6 +60,16 @@ __all__ = [
     "K_QUEUE_MAX_DEPTH",
     "K_PROXY_MESSAGES",
     "K_DISPATCH_BATCHES",
+    "K_FAULT_DROP",
+    "K_FAULT_DUPLICATE",
+    "K_FAULT_DELAY",
+    "K_FAULT_CRASH",
+    "K_RETRY_RESEND",
+    "K_RETRY_DUP_SUPPRESSED",
+    "K_WORKER_DEAD",
+    "K_WORKER_RESTART",
+    "K_REDISPATCH_OPS",
+    "K_FALLBACK_SERIAL",
 ]
 
 # -- canonical counter keys --------------------------------------------------
@@ -72,6 +82,18 @@ K_BYTES_MOVED = "bytes.moved"  # payload bytes through channels
 K_QUEUE_MAX_DEPTH = "queue.max_depth"  # deepest channel FIFO observed
 K_PROXY_MESSAGES = "proxy.messages"  # inter-node messages routed by proxies
 K_DISPATCH_BATCHES = "dispatch.batches"  # batches sent to worker processes
+
+# Fault-injection and recovery events (repro.faults; docs/robustness.md).
+K_FAULT_DROP = "fault.drop"  # fabric sends lost by the FaultPlan
+K_FAULT_DUPLICATE = "fault.duplicate"  # fabric sends delivered twice
+K_FAULT_DELAY = "fault.delay"  # fabric sends artificially delayed
+K_FAULT_CRASH = "fault.crash"  # scheduled worker-process crashes
+K_RETRY_RESEND = "retry.resend"  # proxy retransmissions of unacked packets
+K_RETRY_DUP_SUPPRESSED = "retry.dup_suppressed"  # receiver-side duplicate discards
+K_WORKER_DEAD = "worker.dead"  # dead worker processes detected
+K_WORKER_RESTART = "worker.restart"  # replacement workers spawned
+K_REDISPATCH_OPS = "retry.redispatch"  # in-flight ops re-dispatched after a death
+K_FALLBACK_SERIAL = "fallback.serial"  # degradations to the serial reference
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,20 @@ Real Python threads are used, so firing rules, queue synchronisation and
 termination are exercised genuinely; wall-clock *performance* at scale is
 instead measured by the discrete-event backend (:mod:`repro.dessim`).
 
+Fault tolerance: when a :class:`~repro.faults.FaultPlan` (or
+``reliable=True``) is configured, the proxy speaks a sequence-numbered
+ack/retransmit protocol over the fabric — per ``(src, dst, tag)`` stream
+sequence numbers, per-packet acknowledgements, timeout + capped exponential
+backoff retransmission, duplicate suppression and in-order reassembly on
+the receive side — so a run over a lossy fabric still produces bit-identical
+results.  Packets unacknowledged after ``max_retries`` attempts raise
+:class:`~repro.util.errors.RetryExhaustedError`; proxies shut down via a
+coordinated quiescence check (all workers finished, every proxy idle, the
+fabric empty) so a node never exits while a peer still needs its
+acknowledgements.  Without a fault plan the wire protocol and the shutdown
+logic are exactly the classic ones — the reliable path adds zero overhead
+when disabled.  See ``docs/robustness.md``.
+
 Observability: when a recorder is installed (:mod:`repro.obs`) each firing
 becomes a ``"fire"`` span on its worker's lane (kernel spans from the VDP
 body nest inside it via the shim in :mod:`repro.kernels`), each proxy gets
@@ -39,7 +53,7 @@ from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
-from ..netsim.fabric import Fabric, SendRequest
+from ..netsim.fabric import Fabric, SendRequest, _copy_payload, payload_nbytes
 from ..obs import record as _obs_record
 from ..obs.record import (
     K_BYTES_MOVED,
@@ -47,9 +61,18 @@ from ..obs.record import (
     K_PACKETS_BYPASSED,
     K_PACKETS_PUSHED,
     K_PROXY_MESSAGES,
+    K_RETRY_DUP_SUPPRESSED,
+    K_RETRY_RESEND,
 )
-from ..util.errors import DeadlockError, NetworkError, RuntimeStateError, TagError, VSAError
-from ..util.validation import check_positive_int, require
+from ..util.errors import (
+    DeadlockError,
+    NetworkError,
+    RetryExhaustedError,
+    RuntimeStateError,
+    TagError,
+    VSAError,
+)
+from ..util.validation import check_positive, check_positive_int, require
 from .channel import Channel
 from .packet import Packet
 from .vdp import VDP
@@ -63,7 +86,16 @@ POLICIES = ("lazy", "aggressive")
 
 @dataclass(frozen=True)
 class PRTConfig:
-    """Runtime launch configuration."""
+    """Runtime launch configuration.
+
+    ``fault_plan`` plugs a :class:`~repro.faults.FaultPlan` into the
+    fabric; ``reliable`` selects the ack/retransmit proxy protocol
+    (default: on exactly when the plan can inject fabric faults).
+    ``retry_timeout`` is the initial retransmission timeout, doubled per
+    attempt and capped at ``retry_backoff_cap`` seconds; a packet still
+    unacknowledged after ``max_retries`` retransmissions aborts the run
+    with :class:`~repro.util.errors.RetryExhaustedError`.
+    """
 
     n_nodes: int = 1
     workers_per_node: int = 1
@@ -72,11 +104,26 @@ class PRTConfig:
     seed: int | None = None
     deadlock_timeout: float = 20.0
     max_tag: int = 16 * 1024
+    fault_plan: object | None = None
+    reliable: bool | None = None
+    retry_timeout: float = 0.05
+    retry_backoff_cap: float = 1.0
+    max_retries: int = 12
 
     def __post_init__(self) -> None:
         check_positive_int(self.n_nodes, "n_nodes")
         check_positive_int(self.workers_per_node, "workers_per_node")
         require(self.policy in POLICIES, f"policy must be one of {POLICIES}, got {self.policy!r}")
+        check_positive(self.retry_timeout, "retry_timeout")
+        check_positive(self.retry_backoff_cap, "retry_backoff_cap")
+        check_positive_int(self.max_retries, "max_retries")
+
+    @property
+    def wants_reliable(self) -> bool:
+        """Whether the proxies should speak the ack/retransmit protocol."""
+        if self.reliable is not None:
+            return self.reliable
+        return self.fault_plan is not None and getattr(self.fault_plan, "faulty_fabric", False)
 
     @property
     def total_workers(self) -> int:
@@ -96,6 +143,24 @@ class RunStats:
     n_nodes: int = 1
     workers_per_node: int = 1
     policy: str = "lazy"
+    # Fault-tolerance evidence (zero on a clean run / classic protocol).
+    reliable: bool = False
+    retransmits: int = 0
+    dup_suppressed: int = 0
+    faults_dropped: int = 0
+    faults_duplicated: int = 0
+    faults_delayed: int = 0
+
+
+class _UnackedSend:
+    """Sender-side retransmission record of one in-flight data packet."""
+
+    __slots__ = ("payload", "attempts", "deadline")
+
+    def __init__(self, payload: object, attempts: int, deadline: float):
+        self.payload = payload
+        self.attempts = attempts
+        self.deadline = deadline
 
 
 class _NodeState:
@@ -108,6 +173,9 @@ class _NodeState:
         self.routing: dict[tuple[int, int], Channel] = {}
         self.workers_alive = 0
         self.has_remote = False
+        # Reliable-mode quiescence flag published by the proxy and read by
+        # the monitor loop for the coordinated shutdown decision.
+        self.proxy_idle = False
 
 
 class PRT:
@@ -127,9 +195,14 @@ class PRT:
         self._firings_lock = threading.Lock()
         self._per_worker: dict[int, int] = {}
         self._ran = False
+        self._reliable = cfg.wants_reliable
+        self._proxy_stop = threading.Event()
+        self._retransmits = 0
+        self._dup_suppressed = 0
         self.nodes = [_NodeState(r) for r in range(cfg.n_nodes)]
         self.fabric = Fabric(
-            cfg.n_nodes, jitter=cfg.jitter, seed=cfg.seed, max_tag=cfg.max_tag
+            cfg.n_nodes, jitter=cfg.jitter, seed=cfg.seed, max_tag=cfg.max_tag,
+            fault_plan=cfg.fault_plan,
         )
         self._vdp_node: dict[tuple, int] = {}
         self._vdp_worker: dict[tuple, int] = {}
@@ -276,6 +349,17 @@ class PRT:
         while any(th.is_alive() for th in threads):
             for th in threads:
                 th.join(timeout=0.05)
+            if self._reliable and not self._proxy_stop.is_set():
+                # Coordinated quiescence: a proxy may still owe a peer an
+                # acknowledgement for a retransmission, so no proxy exits
+                # until every worker is done, every proxy reports idle,
+                # and nothing is left in flight on the fabric.
+                if (
+                    all(n.workers_alive == 0 for n in self.nodes)
+                    and all(n.proxy_idle for n in self.nodes if n.has_remote)
+                    and self.fabric.quiescent()
+                ):
+                    self._proxy_stop.set()
             now = time.perf_counter()
             cur = self._firings
             if cur != last_progress:
@@ -304,10 +388,24 @@ class PRT:
             n_nodes=self.cfg.n_nodes,
             workers_per_node=self.cfg.workers_per_node,
             policy=self.cfg.policy,
+            reliable=self._reliable,
+            retransmits=self._retransmits,
+            dup_suppressed=self._dup_suppressed,
+            faults_dropped=self.fabric.dropped_messages,
+            faults_duplicated=self.fabric.duplicated_messages,
+            faults_delayed=self.fabric.delayed_messages,
         )
         return stats
 
     # -- worker -------------------------------------------------------------------
+
+    def _fail(self, exc: BaseException) -> None:
+        """Record a fatal error, abort the run, and wake every thread."""
+        self._errors.append(exc)
+        self._abort.set()
+        for node in self.nodes:
+            with node.cond:
+                node.cond.notify_all()
 
     def _fire(self, vdp: VDP, wid: int) -> None:
         rec = self._rec
@@ -315,11 +413,7 @@ class PRT:
         try:
             vdp.fnc(vdp)
         except BaseException as exc:  # propagate user errors to run()
-            self._errors.append(exc)
-            self._abort.set()
-            for node in self.nodes:
-                with node.cond:
-                    node.cond.notify_all()
+            self._fail(exc)
             raise
         if rec is not None:
             rec.add_span(
@@ -381,6 +475,9 @@ class PRT:
         The body cycles through the same three operations the paper's proxy
         spends its time in: isend (flush outgoing), irecv/test (poll the
         fabric and route to channels), and completion tests on past sends.
+        In reliable mode the same cycle additionally carries sequence
+        numbers, acknowledgements and retransmissions
+        (:meth:`_proxy_serve_reliable`).
 
         With a recorder installed the proxy reports on its own lane (after
         all worker lanes) with one lifetime span; every isend bumps the
@@ -392,58 +489,198 @@ class PRT:
             _obs_record.set_worker_lane(lane)
             rec.name_lane(lane, f"proxy (node {node.rank})")
         proxy_start = rec.now() if rec is not None else 0.0
-        pending: list[SendRequest] = []
         try:
-            while not self._abort.is_set():
-                progress = False
-                # Flush outgoing queues (MPI_Isend).
-                while True:
-                    with node.cond:
-                        item = node.outgoing.popleft() if node.outgoing else None
-                    if item is None:
-                        break
-                    ch, pkt = item
-                    pending.append(
-                        self.fabric.isend(node.rank, ch.dst_node, ch.tag, pkt.data)
-                    )
-                    if rec is not None:
-                        rec.count(K_PROXY_MESSAGES)
-                    progress = True
-                # Drain incoming messages (MPI_Irecv + MPI_Test) and route by
-                # (sender rank, tag).
-                while (msg := self.fabric.poll(node.rank)) is not None:
-                    ch = node.routing.get((msg.source, msg.tag))
-                    if ch is None:
-                        self._errors.append(
-                            NetworkError(
-                                f"node {node.rank}: no channel for message from "
-                                f"{msg.source} with tag {msg.tag}"
-                            )
-                        )
-                        self._abort.set()
-                        break
-                    with node.cond:
-                        ch.queue.append(Packet(data=msg.payload, nbytes=msg.nbytes))
-                        node.cond.notify_all()
-                    progress = True
-                pending = [r for r in pending if not r.test()]
-                with node.cond:
-                    done = (
-                        node.workers_alive == 0
-                        and not node.outgoing
-                        and not pending
-                        and self.fabric.pending_count(node.rank) == 0
-                    )
-                if done:
-                    break
-                if not progress:
-                    time.sleep(0.0005)
+            if self._reliable:
+                self._proxy_serve_reliable(node)
+            else:
+                self._proxy_serve_classic(node)
         finally:
             if rec is not None:
                 rec.add_span(
                     "proxy", "proxy", proxy_start, rec.now(), worker=lane,
-                    args={"node": node.rank},
+                    args={"node": node.rank, "reliable": self._reliable},
                 )
+
+    def _proxy_serve_classic(self, node: _NodeState) -> None:
+        """Fire-and-forget protocol: the fabric is trusted not to lose."""
+        rec = self._rec
+        pending: list[SendRequest] = []
+        while not self._abort.is_set():
+            progress = False
+            # Flush outgoing queues (MPI_Isend).
+            while True:
+                with node.cond:
+                    item = node.outgoing.popleft() if node.outgoing else None
+                if item is None:
+                    break
+                ch, pkt = item
+                pending.append(
+                    self.fabric.isend(node.rank, ch.dst_node, ch.tag, pkt.data)
+                )
+                if rec is not None:
+                    rec.count(K_PROXY_MESSAGES)
+                progress = True
+            # Drain incoming messages (MPI_Irecv + MPI_Test) and route by
+            # (sender rank, tag).
+            while (msg := self.fabric.poll(node.rank)) is not None:
+                if not self._route_packet(node, msg.source, msg.tag, msg.payload, msg.nbytes):
+                    break
+                progress = True
+            pending = [r for r in pending if not r.test()]
+            with node.cond:
+                done = (
+                    node.workers_alive == 0
+                    and not node.outgoing
+                    and not pending
+                    and self.fabric.pending_count(node.rank) == 0
+                )
+            if done:
+                break
+            if not progress:
+                time.sleep(0.0005)
+
+    def _proxy_serve_reliable(self, node: _NodeState) -> None:
+        """Sequence-numbered ack/retransmit protocol over a lossy fabric.
+
+        Wire format (everything this proxy sends is an envelope):
+
+        * ``("D", seq, payload)`` — data packet ``seq`` of its
+          ``(src, dst, tag)`` stream, sequence numbers dense from 0;
+        * ``("A", seq)`` — acknowledgement, sent back on the same tag
+          (envelope kinds disambiguate, so no tag is reserved).
+
+        Sender side keeps every packet in ``unacked`` until its ack
+        arrives, retransmitting on a deadline with capped exponential
+        backoff; ``max_retries`` exceeded is a fatal
+        :class:`RetryExhaustedError`.  Receiver side acks *every* data
+        packet (the previous ack may itself have been lost), suppresses
+        duplicates, and reassembles each stream in sequence order through a
+        reorder buffer so channels still see FIFO delivery.
+
+        Termination is coordinated by the monitor loop (see :meth:`run`):
+        this proxy publishes ``node.proxy_idle`` and exits only when
+        ``_proxy_stop`` is set, so it keeps re-acknowledging retransmitted
+        duplicates for as long as any peer might still be retrying.
+        """
+        rec = self._rec
+        cfg = self.cfg
+        rank = node.rank
+        next_seq: dict[tuple[int, int], int] = {}  # (dst, tag) -> next seq
+        unacked: dict[tuple[int, int, int], _UnackedSend] = {}
+        recv_next: dict[tuple[int, int], int] = {}  # (src, tag) -> expected
+        recv_buf: dict[tuple[int, int], dict[int, object]] = {}
+        retransmits = dup_suppressed = 0
+        while not self._abort.is_set():
+            progress = False
+            # Flush outgoing queues with stream sequence numbers.
+            while True:
+                with node.cond:
+                    item = node.outgoing.popleft() if node.outgoing else None
+                if item is None:
+                    break
+                ch, pkt = item
+                stream = (ch.dst_node, ch.tag)
+                seq = next_seq.get(stream, 0)
+                next_seq[stream] = seq + 1
+                # Snapshot the payload once: retransmissions must resend
+                # the bytes as they were at send time, even if the source
+                # VDP mutates its tile afterwards.
+                payload = _copy_payload(pkt.data)
+                unacked[(ch.dst_node, ch.tag, seq)] = _UnackedSend(
+                    payload, 0, time.monotonic() + cfg.retry_timeout
+                )
+                self.fabric.isend(rank, ch.dst_node, ch.tag, ("D", seq, payload))
+                if rec is not None:
+                    rec.count(K_PROXY_MESSAGES)
+                progress = True
+            # Drain incoming envelopes: ack data, suppress duplicates,
+            # deliver streams in sequence order.
+            while (msg := self.fabric.poll(rank)) is not None:
+                progress = True
+                kind = msg.payload[0]
+                if kind == "A":
+                    unacked.pop((msg.source, msg.tag, msg.payload[1]), None)
+                    continue
+                seq, data = msg.payload[1], msg.payload[2]
+                # Always ack — the previous ack may have been dropped.
+                self.fabric.isend(rank, msg.source, msg.tag, ("A", seq))
+                stream = (msg.source, msg.tag)
+                expected = recv_next.get(stream, 0)
+                if seq < expected:
+                    dup_suppressed += 1
+                    if rec is not None:
+                        rec.count(K_RETRY_DUP_SUPPRESSED)
+                    continue
+                buf = recv_buf.setdefault(stream, {})
+                if seq > expected:
+                    if seq in buf:
+                        dup_suppressed += 1
+                        if rec is not None:
+                            rec.count(K_RETRY_DUP_SUPPRESSED)
+                    else:
+                        buf[seq] = data
+                    continue
+                # In order: deliver, then drain the reorder buffer.
+                if not self._route_packet(node, msg.source, msg.tag, data, payload_nbytes(data)):
+                    break
+                expected += 1
+                while expected in buf:
+                    nxt = buf.pop(expected)
+                    if not self._route_packet(node, msg.source, msg.tag, nxt, payload_nbytes(nxt)):
+                        break
+                    expected += 1
+                recv_next[stream] = expected
+            # Retransmission pass over the unacked window.
+            now = time.monotonic()
+            for key, snd in list(unacked.items()):
+                if now < snd.deadline or self._abort.is_set():
+                    continue
+                snd.attempts += 1
+                if snd.attempts > cfg.max_retries:
+                    dst, tag, seq = key
+                    self._fail(RetryExhaustedError(
+                        f"node {rank}: packet seq {seq} to node {dst} (tag {tag}) "
+                        f"unacknowledged after {cfg.max_retries} retransmissions"
+                    ))
+                    break
+                self.fabric.isend(rank, key[0], key[1], ("D", key[2], snd.payload))
+                retransmits += 1
+                if rec is not None:
+                    rec.count(K_RETRY_RESEND)
+                snd.deadline = now + min(
+                    cfg.retry_timeout * (2.0 ** snd.attempts), cfg.retry_backoff_cap
+                )
+                progress = True
+            # Publish quiescence for the coordinated shutdown decision.
+            with node.cond:
+                idle = (
+                    node.workers_alive == 0
+                    and not node.outgoing
+                    and not unacked
+                    and not any(recv_buf.values())
+                )
+            node.proxy_idle = idle and self.fabric.pending_count(rank) == 0
+            if self._proxy_stop.is_set():
+                break
+            if not progress:
+                time.sleep(0.0005)
+        with self._firings_lock:
+            self._retransmits += retransmits
+            self._dup_suppressed += dup_suppressed
+
+    def _route_packet(self, node: _NodeState, source: int, tag: int, data, nbytes: int) -> bool:
+        """Deliver one payload to its channel; False aborts the proxy."""
+        ch = node.routing.get((source, tag))
+        if ch is None:
+            self._fail(NetworkError(
+                f"node {node.rank}: no channel for message from "
+                f"{source} with tag {tag}"
+            ))
+            return False
+        with node.cond:
+            ch.queue.append(Packet(data=data, nbytes=nbytes))
+            node.cond.notify_all()
+        return True
 
     # -- diagnostics -------------------------------------------------------------------
 

@@ -149,6 +149,8 @@ class VSA:
         jitter: float = 0.0,
         seed: int | None = None,
         deadlock_timeout: float = 20.0,
+        fault_plan=None,
+        reliable: bool | None = None,
     ):
         """Execute the array on the threaded PULSAR Runtime.
 
@@ -173,6 +175,13 @@ class VSA:
         deadlock_timeout:
             Seconds without any firing before the runtime aborts with
             :class:`~repro.util.errors.DeadlockError`.
+        fault_plan:
+            Optional :class:`~repro.faults.FaultPlan` injected into the
+            fabric; implies the ack/retransmit proxy protocol when it can
+            drop/duplicate/delay messages.
+        reliable:
+            Force the ack/retransmit protocol on (``True``) or off
+            (``False``); default ``None`` derives it from ``fault_plan``.
 
         Returns
         -------
@@ -188,5 +197,7 @@ class VSA:
             jitter=jitter,
             seed=seed,
             deadlock_timeout=deadlock_timeout,
+            fault_plan=fault_plan,
+            reliable=reliable,
         )
         return PRT(self, cfg, mapping=mapping).run()

@@ -46,7 +46,7 @@ import numpy as np
 from ..obs import record as _obs_record
 from ..tiles.matrix import TileMatrix
 from ..trees.plan import TreeKind, plan_all_panels
-from ..util.errors import ConfigurationError
+from ..util.errors import ConfigurationError, ReproError
 from ..util.validation import as_f64_matrix, check_tile_params, require
 from .ops import expand_plans
 from .reference import TileQRFactors, execute_ops
@@ -183,6 +183,8 @@ def qr_factor(
     n_procs: int | None = None,
     batch: int | None = None,
     trace: str | os.PathLike | None = None,
+    fault_plan=None,
+    on_failure: str = "raise",
 ) -> QRFactorization:
     """Tree-based tile QR factorization of a tall-and-skinny matrix.
 
@@ -233,6 +235,23 @@ def qr_factor(
         execution (any backend; see :mod:`repro.obs`).  Only the
         factorization itself is recorded — later ``apply_q`` / ``solve``
         calls are not.  Default off, with zero overhead.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` for chaos testing:
+        injects packet loss/duplication/delay into the ``pulsar`` fabric
+        (which then runs its ack/retransmit protocol) and worker crashes
+        into the ``parallel`` backend (which re-dispatches and respawns).
+        Ignored by ``serial``, which has no fabric or workers.
+    on_failure:
+        ``"raise"`` (default) propagates backend failures.
+        ``"fallback"`` degrades instead: if the chosen backend fails with
+        a runtime error (retries exhausted, watchdog/deadlock timeout,
+        all workers dead), the factorization is redone with the serial
+        reference executor on a pristine copy of the input, the reason is
+        recorded on ``stats.fallback_reason`` (``stats.mode`` becomes
+        ``"serial-fallback"``) and, when tracing, on the
+        ``fallback.serial`` counter and a ``fallback`` span.
+        Configuration errors always raise — a bad parameter would fail
+        serially too.
 
     Returns
     -------
@@ -265,42 +284,61 @@ def qr_factor(
         )
     elif isinstance(h, str):
         raise ConfigurationError(f"h must be an int or 'auto', got {h!r}")
+    if backend not in ("serial", "parallel", "pulsar"):
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; expected 'serial', 'parallel', "
+            "or 'pulsar'"
+        )
+    if on_failure not in ("raise", "fallback"):
+        raise ConfigurationError(
+            f"on_failure must be 'raise' or 'fallback', got {on_failure!r}"
+        )
     plans = plan_all_panels(kind, tm.mt, tm.nt, h=h, shifted=shifted)
     ops = expand_plans(tm.layout, plans)
+    # Degradation needs a pristine input: the pulsar build hands tiles to
+    # the VSA, so snapshot before any backend touches them.
+    pristine = tm.copy() if on_failure == "fallback" and backend != "serial" else None
 
     # The recording window covers only the backend execution: factor
     # assembly and any later apply_q/solve calls stay out of the evidence.
     ctx = _obs_record.recording() if trace is not None else nullcontext(None)
     with ctx as recorder:
-        if backend == "serial":
-            if recorder is not None:
-                recorder.name_lane(0, "serial")
-            factors = execute_ops(tm, ops, ib)
-            stats = None
-        elif backend == "parallel":
-            from .parallel import execute_ops_parallel
+        try:
+            if backend == "serial":
+                if recorder is not None:
+                    recorder.name_lane(0, "serial")
+                factors = execute_ops(tm, ops, ib)
+                stats = None
+            elif backend == "parallel":
+                from .parallel import execute_ops_parallel
 
-            factors, stats = execute_ops_parallel(
-                tm, ops, ib, n_procs=n_procs, policy=policy, batch=batch
-            )
-        elif backend == "pulsar":
-            from .collector import assemble_factors
-            from .vsa3d import build_qr_vsa
+                factors, stats = execute_ops_parallel(
+                    tm, ops, ib, n_procs=n_procs, policy=policy, batch=batch,
+                    fault_plan=fault_plan,
+                )
+            else:  # pulsar
+                from .collector import assemble_factors
+                from .vsa3d import build_qr_vsa
 
-            total = n_nodes * workers_per_node
-            arr = build_qr_vsa(tm, plans, ib=ib, total_workers=total)
-            stats = arr.run(
-                n_nodes=n_nodes,
-                workers_per_node=workers_per_node,
-                policy=policy,
-                seed=seed,
-            )
-            factors = assemble_factors(arr.store, ops, ib)
-        else:
-            raise ConfigurationError(
-                f"unknown backend {backend!r}; expected 'serial', 'parallel', "
-                "or 'pulsar'"
-            )
+                total = n_nodes * workers_per_node
+                arr = build_qr_vsa(tm, plans, ib=ib, total_workers=total)
+                stats = arr.run(
+                    n_nodes=n_nodes,
+                    workers_per_node=workers_per_node,
+                    policy=policy,
+                    seed=seed,
+                    fault_plan=fault_plan,
+                )
+                factors = assemble_factors(arr.store, ops, ib)
+        except ConfigurationError:
+            raise  # a bad parameter would fail on the serial path too
+        except ReproError as exc:
+            if pristine is None:
+                raise
+            from .parallel import _fallback
+
+            reason = f"{backend} backend failed: {type(exc).__name__}: {exc}"
+            factors, stats = _fallback(pristine, ops, ib, reason, policy)
     f = QRFactorization(
         factors, kind, backend, stats=stats, ops=ops, ib=ib, recorder=recorder
     )

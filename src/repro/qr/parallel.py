@@ -22,8 +22,30 @@ interleaving — produces factors **bit-identical** to the serial reference;
 the tests assert exactly that.
 
 When ``n_procs == 1`` or shared memory is unavailable the executor falls
-back to the serial reference (same factors, ``stats.mode`` records the
-fallback) instead of failing.
+back to the serial reference (same factors, ``stats.mode`` and an obs
+``fallback.serial`` counter record the fallback) instead of failing.
+
+Fault tolerance: the dispatcher waits on every worker's pipe *and* its
+process sentinel, so a dead worker (crashed, OOM-killed, or killed by a
+:class:`~repro.faults.FaultPlan` crash schedule) is detected the moment the
+OS reaps it — the process sentinel is the heartbeat; a worker that is alive
+but silent is caught by the no-progress :class:`~repro.faults.Watchdog`
+instead (:class:`~repro.util.errors.WatchdogTimeout` after ``timeout_s``).
+In-flight operations of a dead worker are re-dispatched to survivors (and a
+replacement process is spawned when ``respawn=True``).  Re-dispatch is safe
+because operations are *idempotent on the shared tile store given DAG
+ordering*, and that idempotency is enforced, not assumed: a per-op
+completion flag in shared memory is set after an op's tile mutations, so a
+re-dispatched op that already ran is skipped rather than re-applied (a QR
+kernel is destructive — factoring a tile twice would corrupt it).  The DAG
+guarantees no successor was dispatched before the flag went up, and an op
+is only ever re-dispatched after its owner's death is confirmed, so no two
+live workers run the same op concurrently.  The one unprotected window is a
+worker dying *inside* a kernel's tile writes; injected crashes land on op
+boundaries only, and docs/robustness.md spells out the residual risk.
+:class:`ParallelExecutionError` is raised only once retries are exhausted
+(an op re-dispatched more than ``max_redispatch`` times, or every worker
+dead with respawn disabled).
 
 Observability: workers report each op as absolute ``perf_counter`` start /
 end stamps (system-wide ``CLOCK_MONOTONIC`` on Linux), so with a recorder
@@ -42,16 +64,25 @@ import os
 import time
 import traceback
 from dataclasses import dataclass, field
+from multiprocessing import shared_memory
 from multiprocessing.connection import Connection, wait as conn_wait
 
 from .. import kernels
+from ..faults.watchdog import Watchdog
 from ..obs import record as _obs_record
 from ..obs.adapters import KERNEL_CATEGORY
-from ..obs.record import K_DISPATCH_BATCHES
+from ..obs.record import (
+    K_DISPATCH_BATCHES,
+    K_FALLBACK_SERIAL,
+    K_FAULT_CRASH,
+    K_REDISPATCH_OPS,
+    K_WORKER_DEAD,
+    K_WORKER_RESTART,
+)
 from ..tiles.layout import TileLayout
 from ..tiles.matrix import TileMatrix
 from ..util.errors import ParallelExecutionError
-from ..util.validation import check_positive_int, require
+from ..util.validation import check_nonnegative_int, check_positive_int, require
 from .dag import op_dependency_graph
 from .ops import Op
 from .reference import FactorRecord, TileQRFactors, execute_ops
@@ -63,6 +94,10 @@ __all__ = [
 ]
 
 _POLICIES = ("lazy", "aggressive")
+
+#: Exit code used by FaultPlan-scheduled worker crashes, so the parent can
+#: tell an injected crash (counted under ``fault.crash``) from a real one.
+_CRASH_EXIT_CODE = 37
 
 
 def default_n_procs() -> int:
@@ -93,6 +128,10 @@ class ParallelRunStats:
     per_worker_ops: dict[int, int] = field(default_factory=dict)
     mode: str = "parallel"
     fallback_reason: str = ""
+    # Fault-tolerance evidence (all zero on a clean run).
+    workers_died: int = 0
+    workers_respawned: int = 0
+    ops_redispatched: int = 0
 
     @property
     def tasks_per_s(self) -> float:
@@ -151,10 +190,13 @@ def _execute_op(store, op: Op, ib: int) -> None:
 
 def _worker_main(
     rank: int,
+    generation: int,
     shm_name: str,
+    flags_name: str,
     layout: TileLayout,
     ops: list[Op],
     ib: int,
+    fault_plan,
     conn: Connection,
 ) -> None:
     """Worker loop: attach to the store once, then execute index batches.
@@ -162,8 +204,15 @@ def _worker_main(
     Per-op timings travel back as absolute ``perf_counter`` stamps so the
     parent can place them on the recorder's timeline (see module
     docstring); the parent computes busy seconds from the same stamps.
+
+    Fault hooks: before each op the worker consults the
+    :class:`~repro.faults.FaultPlan` crash schedule (generation 0 only) and
+    ``os._exit``\\ s when told to.  The op itself only runs if its completion
+    flag in the shared ``flags`` segment is still clear — the flag is set
+    right after the op's tile mutations, which is what makes a re-dispatched
+    op idempotent (see the module docstring).
     """
-    from ..tiles.shared import SharedTileStore
+    from ..tiles.shared import SharedTileStore, attach_untracked
 
     # A forked child inherits the parent's recorder; spans must be recorded
     # by the parent from the reported stamps, not duplicated here.
@@ -171,6 +220,10 @@ def _worker_main(
 
     t_attach0 = time.perf_counter()
     store = SharedTileStore.attach(shm_name, layout, ops, ib)
+    flags_shm = attach_untracked(flags_name)
+    flags = flags_shm.buf
+    crashy = fault_plan is not None and fault_plan.faulty_workers
+    ops_done = 0
     try:
         conn.send(("attached", rank, t_attach0, time.perf_counter()))
         while True:
@@ -179,18 +232,25 @@ def _worker_main(
                 break
             done: list[tuple[int, float, float]] = []
             for idx in batch:
+                if crashy and fault_plan.worker_crash(rank, generation, ops_done):
+                    os._exit(_CRASH_EXIT_CODE)
                 t0 = time.perf_counter()
-                try:
-                    _execute_op(store, ops[idx], ib)
-                except BaseException:
-                    conn.send(("err", rank, idx, traceback.format_exc()))
-                    return
+                if not flags[idx]:
+                    try:
+                        _execute_op(store, ops[idx], ib)
+                    except BaseException:
+                        conn.send(("err", rank, idx, traceback.format_exc()))
+                        return
+                    flags[idx] = 1
+                ops_done += 1
                 done.append((idx, t0, time.perf_counter()))
             conn.send(("done", rank, done))
     except (EOFError, KeyboardInterrupt):  # parent went away: just exit
         pass
     finally:
         store.close()
+        flags = None
+        flags_shm.close()
         conn.close()
 
 
@@ -225,9 +285,24 @@ def _auto_batch(n_ops: int, n_procs: int) -> int:
 
 
 def _fallback(a: TileMatrix, ops: list[Op], ib: int, reason: str, policy: str):
+    """Serial-reference degradation: same factors, reason on the record.
+
+    The reason is never silent: it lands in ``stats.fallback_reason`` /
+    ``stats.mode`` and, when a recorder is installed, on the
+    ``fallback.serial`` counter and a ``fallback`` span whose args carry
+    the reason — so a trace shows *that* and *why* the run degraded.
+    """
+    rec = _obs_record._RECORDER
     t0 = time.perf_counter()
     factors = execute_ops(a, ops, ib)
     elapsed = time.perf_counter() - t0
+    if rec is not None:
+        rec.count(K_FALLBACK_SERIAL)
+        end = rec.now()
+        rec.add_span(
+            "fallback", "dispatch", end - elapsed, end, worker=0,
+            args={"reason": reason},
+        )
     stats = ParallelRunStats(
         n_ops=len(ops),
         n_procs=1,
@@ -251,6 +326,9 @@ def execute_ops_parallel(
     policy: str = "lazy",
     batch: int | None = None,
     timeout_s: float = 120.0,
+    fault_plan=None,
+    max_redispatch: int = 2,
+    respawn: bool = True,
 ) -> tuple[TileQRFactors, ParallelRunStats]:
     """Run an operation list on ``a`` across worker processes.
 
@@ -273,11 +351,23 @@ def execute_ops_parallel(
         Operations dispatched per worker message (default: auto-sized from
         the op count).
     timeout_s:
-        Dispatcher watchdog: raise :class:`ParallelExecutionError` instead
-        of hanging if no worker responds for this long.
+        No-progress watchdog: raise
+        :class:`~repro.util.errors.WatchdogTimeout` instead of hanging if
+        nothing completes, dies, or attaches for this long.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` whose ``crash_workers``
+        schedule makes workers die abruptly (testing the recovery path).
+    max_redispatch:
+        How many times one op may be re-dispatched after worker deaths
+        before the run fails with :class:`ParallelExecutionError`.
+    respawn:
+        Spawn a replacement process for each dead worker (capped at
+        ``n_procs`` respawns per run).  With ``respawn=False`` the run
+        continues on the survivors and fails only when none remain.
     """
     require(a.m >= a.n, f"tile QR requires m >= n, got {a.m} x {a.n}")
     require(policy in _POLICIES, f"policy must be one of {_POLICIES}, got {policy!r}")
+    check_nonnegative_int(max_redispatch, "max_redispatch")
     if n_procs is None:
         n_procs = default_n_procs()
     check_positive_int(n_procs, "n_procs")
@@ -291,6 +381,11 @@ def execute_ops_parallel(
         store = SharedTileStore.create(a, ops, ib)
     except (ImportError, OSError) as exc:
         return _fallback(a.copy(), ops, ib, f"shared memory unavailable: {exc}", policy)
+    # One completion-flag byte per op (the enforced-idempotency ledger, see
+    # module docstring).  Created zeroed; workers set flag[idx] after op
+    # idx's tile mutations.
+    flags_shm = shared_memory.SharedMemory(create=True, size=max(len(ops), 1))
+    flags_shm.buf[: len(flags_shm.buf)] = bytes(len(flags_shm.buf))
 
     if batch is None:
         batch = _auto_batch(len(ops), n_procs)
@@ -311,22 +406,31 @@ def execute_ops_parallel(
             rec.name_lane(w, f"proc {w}")
         rec.name_lane(n_procs, "dispatcher")
     ctx = mp.get_context()
-    procs: list[mp.Process] = []
-    conns: list[Connection] = []
+    procs: dict[int, mp.Process] = {}
+    conns: dict[int, Connection] = {}
+    generations: dict[int, int] = {}
     t_run = time.perf_counter()
+
+    def spawn(rank: int, generation: int) -> None:
+        parent_conn, child_conn = ctx.Pipe()
+        p = ctx.Process(
+            target=_worker_main,
+            args=(
+                rank, generation, store.name, flags_shm.name,
+                a.layout, ops, ib, fault_plan, child_conn,
+            ),
+            daemon=True,
+            name=f"qr-parallel-{rank}g{generation}",
+        )
+        p.start()
+        child_conn.close()
+        procs[rank] = p
+        conns[rank] = parent_conn
+        generations[rank] = generation
+
     try:
         for rank in range(n_procs):
-            parent_conn, child_conn = ctx.Pipe()
-            p = ctx.Process(
-                target=_worker_main,
-                args=(rank, store.name, a.layout, ops, ib, child_conn),
-                daemon=True,
-                name=f"qr-parallel-{rank}",
-            )
-            p.start()
-            child_conn.close()
-            procs.append(p)
-            conns.append(parent_conn)
+            spawn(rank, 0)
         stats.spawn_s = time.perf_counter() - t_run
         if rec is not None:
             end = rec.now()
@@ -339,107 +443,203 @@ def execute_ops_parallel(
         for idx in range(len(ops)):
             if deps_left[idx] == 0:
                 ready.push(idx)
-        rank_of = {c: r for r, c in enumerate(conns)}
+        alive = set(range(n_procs))
         idle = list(range(n_procs - 1, -1, -1))  # pop() yields rank 0 first
-        inflight = 0
+        inflight_of: dict[int, set[int]] = {w: set() for w in range(n_procs)}
+        attempts = [0] * len(ops)
+        respawns_used = 0
         completed = 0
 
+        def handle_msg(w: int, msg) -> None:
+            """Apply one worker report (attached / done / err)."""
+            nonlocal completed
+            if msg[0] == "err":
+                _, _, idx, tb = msg
+                raise ParallelExecutionError(
+                    f"worker {w} failed on {ops[idx].describe()}:\n{tb}"
+                )
+            if msg[0] == "attached":
+                _, _, a0, a1 = msg
+                if rec is not None:
+                    rec.add_span(
+                        "attach", "dispatch",
+                        rec.from_monotonic(a0), rec.from_monotonic(a1),
+                        worker=w,
+                    )
+                return
+            _, _, done = msg
+            completed += len(done)
+            stats.per_worker_ops[w] = stats.per_worker_ops.get(w, 0) + len(done)
+            for idx, op_t0, op_t1 in done:
+                if w in inflight_of:
+                    inflight_of[w].discard(idx)
+                busy = stats.per_worker_busy_s.get(w, 0.0)
+                stats.per_worker_busy_s[w] = busy + (op_t1 - op_t0)
+                if rec is not None:
+                    op = ops[idx]
+                    rec.record_kernel(
+                        op.kind,
+                        KERNEL_CATEGORY[op.kind],
+                        kernels.kernel_flops(op.kind, op.m2, op.k, op.q, ib),
+                        rec.from_monotonic(op_t0),
+                        rec.from_monotonic(op_t1),
+                        w,
+                    )
+                for e in range(succ_index[idx], succ_index[idx + 1]):
+                    d = int(succ_task[e])
+                    deps_left[d] -= 1
+                    if deps_left[d] == 0:
+                        ready.push(d)
+            idle.append(w)
+
+        def handle_death(w: int, *, proc=None, via_conn=None) -> None:
+            """Confirmed worker death: drain, requeue its ops, maybe respawn.
+
+            ``proc`` / ``via_conn`` identify which incarnation of rank ``w``
+            the triggering event (sentinel / EOF) belongs to; a stale event
+            for an already-replaced worker is ignored.
+            """
+            nonlocal respawns_used
+            if w not in alive:
+                return
+            if proc is not None and procs[w] is not proc:
+                return
+            if via_conn is not None and conns[w] is not via_conn:
+                return
+            alive.discard(w)
+            # Drain reports the worker managed to send before dying, so a
+            # completed-and-reported op is never requeued.
+            try:
+                while conns[w].poll(0):
+                    handle_msg(w, conns[w].recv())
+            except (EOFError, OSError):
+                pass
+            conns[w].close()
+            procs[w].join(timeout=5.0)
+            code = procs[w].exitcode
+            stats.workers_died += 1
+            if rec is not None:
+                rec.count(K_WORKER_DEAD)
+                if code == _CRASH_EXIT_CODE:
+                    rec.count(K_FAULT_CRASH)
+            lost = sorted(inflight_of.pop(w, ()))
+            for idx in lost:
+                attempts[idx] += 1
+                if attempts[idx] > max_redispatch:
+                    raise ParallelExecutionError(
+                        f"worker {w} died (exit code {code}) and "
+                        f"{ops[idx].describe()} was already re-dispatched "
+                        f"{max_redispatch} time(s) — retries exhausted"
+                    )
+                ready.push(idx)
+            if lost:
+                stats.ops_redispatched += len(lost)
+                if rec is not None:
+                    rec.count(K_REDISPATCH_OPS, len(lost))
+            if respawn and respawns_used < n_procs:
+                respawns_used += 1
+                stats.workers_respawned += 1
+                if rec is not None:
+                    rec.count(K_WORKER_RESTART)
+                spawn(w, generations[w] + 1)
+                alive.add(w)
+                inflight_of[w] = set()
+                idle.append(w)
+            elif not alive:
+                raise ParallelExecutionError(
+                    f"worker {w} died (exit code {code}) and no workers remain"
+                    + ("; respawn budget exhausted" if respawn else "; respawn disabled")
+                )
+
         def dispatch() -> None:
-            """Feed idle workers from the ready pool."""
-            nonlocal inflight
+            """Feed idle live workers from the ready pool."""
             while idle and len(ready):
                 w = idle.pop()
+                if w not in alive:
+                    continue  # stale idle entry from a replaced worker
                 take = min(batch, max(1, len(ready) // (len(idle) + 1)))
                 chunk = [ready.pop() for _ in range(min(take, len(ready)))]
+                inflight_of[w].update(chunk)
                 try:
                     conns[w].send(chunk)
-                except (BrokenPipeError, OSError) as exc:
-                    raise ParallelExecutionError(
-                        f"worker {w} unreachable (exit code {procs[w].exitcode})"
-                    ) from exc
+                except (BrokenPipeError, OSError):
+                    handle_death(w, via_conn=conns[w])
+                    continue
                 if rec is not None:
                     rec.count(K_DISPATCH_BATCHES)
-                inflight += len(chunk)
 
+        def _stall_report() -> str:
+            per_worker = {w: len(inflight_of.get(w, ())) for w in sorted(alive)}
+            return (
+                f"{completed}/{len(ops)} ops done; alive workers {sorted(alive)}; "
+                f"in-flight per worker {per_worker}; ready {len(ready)}; "
+                f"died {stats.workers_died}, respawned {stats.workers_respawned}"
+            )
+
+        wd = Watchdog(timeout_s, what="parallel dispatcher", report=_stall_report)
         dispatch()
         while completed < len(ops):
-            if inflight == 0:
+            if not len(ready) and not any(inflight_of.get(w) for w in alive):
                 raise ParallelExecutionError(
                     f"dispatcher stalled: {completed}/{len(ops)} ops done, "
-                    "none in flight (dependency cycle?)"
+                    "none ready or in flight (dependency cycle?)"
                 )
-            got = conn_wait(conns, timeout=timeout_s)
+            # Wait on every live worker's pipe AND its process sentinel: the
+            # sentinel is the heartbeat — it fires the instant the OS reaps
+            # a dead worker, with no polling interval to tune.
+            sentinel_of = {procs[w].sentinel: (w, procs[w]) for w in alive}
+            conn_of = {conns[w]: w for w in alive}
+            got = conn_wait(
+                list(conn_of) + list(sentinel_of), timeout=min(timeout_s, 0.5)
+            )
             t0 = time.perf_counter()
             if not got:
-                dead = [p.name for p in procs if not p.is_alive()]
-                raise ParallelExecutionError(
-                    f"no worker progress for {timeout_s:.0f}s"
-                    + (f"; dead workers: {dead}" if dead else "")
-                )
-            for conn in got:
-                try:
-                    msg = conn.recv()
-                except EOFError:
-                    w = rank_of[conn]
-                    code = procs[w].exitcode
-                    raise ParallelExecutionError(
-                        f"worker {w} died unexpectedly (exit code {code})"
-                    ) from None
-                if msg[0] == "err":
-                    _, w, idx, tb = msg
-                    raise ParallelExecutionError(
-                        f"worker {w} failed on {ops[idx].describe()}:\n{tb}"
-                    )
-                if msg[0] == "attached":
-                    _, w, a0, a1 = msg
-                    if rec is not None:
-                        rec.add_span(
-                            "attach", "dispatch",
-                            rec.from_monotonic(a0), rec.from_monotonic(a1),
-                            worker=w,
-                        )
+                wd.check()
+                continue
+            for obj in got:
+                if obj in sentinel_of:
+                    w, proc = sentinel_of[obj]
+                    handle_death(w, proc=proc)
                     continue
-                _, w, done = msg
-                inflight -= len(done)
-                completed += len(done)
-                stats.per_worker_ops[w] += len(done)
-                for idx, op_t0, op_t1 in done:
-                    stats.per_worker_busy_s[w] += op_t1 - op_t0
-                    if rec is not None:
-                        op = ops[idx]
-                        rec.record_kernel(
-                            op.kind,
-                            KERNEL_CATEGORY[op.kind],
-                            kernels.kernel_flops(op.kind, op.m2, op.k, op.q, ib),
-                            rec.from_monotonic(op_t0),
-                            rec.from_monotonic(op_t1),
-                            w,
-                        )
-                    for e in range(succ_index[idx], succ_index[idx + 1]):
-                        d = int(succ_task[e])
-                        deps_left[d] -= 1
-                        if deps_left[d] == 0:
-                            ready.push(d)
-                idle.append(w)
+                w = conn_of.get(obj)
+                if w is None or w not in alive or conns[w] is not obj:
+                    continue  # stale handle: worker was replaced this round
+                try:
+                    msg = conns[w].recv()
+                except (EOFError, OSError):
+                    handle_death(w, via_conn=obj)
+                    continue
+                handle_msg(w, msg)
+            wd.note_progress(
+                (completed, stats.workers_died, stats.workers_respawned)
+            )
             dispatch()
             stats.dispatch_s += time.perf_counter() - t0
 
-        for conn in conns:
-            conn.send(None)
-        for p in procs:
+        for w in alive:
+            try:
+                conns[w].send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for p in procs.values():
             p.join(timeout=10.0)
         stats.elapsed_s = time.perf_counter() - t_run
 
         factored = store.extract_matrix()
         ts = store.extract_ts()
     finally:
-        for p in procs:
+        for p in procs.values():
             if p.is_alive():
                 p.terminate()
-        for conn in conns:
-            conn.close()
+        for conn in conns.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
         store.close()
         store.unlink()
+        flags_shm.close()
+        flags_shm.unlink()
 
     factors = TileQRFactors(a=factored, ib=ib)
     for op in ops:

@@ -8,11 +8,17 @@ workflow when the same design matrix serves many right-hand sides.
 Format: a single ``.npz`` archive holding every tile, every ``T`` factor,
 the record table, and the geometry; no pickling, so archives are portable
 and safe to load.
+
+Writes are crash-safe: the archive is assembled in a temporary file in the
+destination directory, fsynced, and atomically renamed over the target with
+``os.replace`` — a process killed mid-write leaves the previous archive (if
+any) intact and never a half-written one.
 """
 
 from __future__ import annotations
 
 import os
+import tempfile
 
 import numpy as np
 
@@ -31,7 +37,13 @@ _KIND_NAMES = {v: k for k, v in _KIND_CODES.items()}
 
 
 def save_factorization(path: str | os.PathLike, f: QRFactorization) -> None:
-    """Write ``f`` to ``path`` as an ``.npz`` archive."""
+    """Write ``f`` to ``path`` as an ``.npz`` archive (atomically).
+
+    Mirrors NumPy's path handling: ``.npz`` is appended when missing.  The
+    data goes to a temporary file first and only an ``os.replace`` makes it
+    visible under the final name, so a crash mid-save cannot corrupt or
+    truncate an existing archive.
+    """
     factors = f._factors
     a = factors.a
     arrays: dict[str, np.ndarray] = {
@@ -51,7 +63,27 @@ def save_factorization(path: str | os.PathLike, f: QRFactorization) -> None:
         arrays[f"tile_{i}_{j}"] = tile
     for idx, rec in enumerate(factors.records):
         arrays[f"t_{idx}"] = rec.t
-    np.savez_compressed(path, **arrays)
+    final = os.fspath(path)
+    if not final.endswith(".npz"):
+        final += ".npz"  # match np.savez path normalisation
+    # Write through an *open file object*: savez would append ".npz" to a
+    # temporary path string, breaking the later rename.  Same-directory
+    # temp file so os.replace stays within one filesystem (atomic).
+    fd, tmp = tempfile.mkstemp(
+        dir=os.path.dirname(final) or ".", prefix=os.path.basename(final) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def load_factorization(path: str | os.PathLike) -> QRFactorization:

@@ -23,7 +23,31 @@ from ..util.errors import ConfigurationError
 from .layout import TileLayout
 from .matrix import TileMatrix
 
-__all__ = ["SharedTileStore", "t_factor_key"]
+__all__ = ["SharedTileStore", "t_factor_key", "attach_untracked"]
+
+
+def attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker registration.
+
+    The attaching process must not adopt the segment in the (shared)
+    resource tracker — only the creator owns it, and concurrent
+    register/unregister from several workers corrupts the tracker's
+    cache.  Python < 3.13 lacks ``SharedMemory(track=False)``, so
+    registration is suppressed for the duration of the attach.
+    """
+    from multiprocessing import resource_tracker
+
+    orig_register = resource_tracker.register
+
+    def _skip_shm(name_: str, rtype: str) -> None:
+        if rtype != "shared_memory":
+            orig_register(name_, rtype)
+
+    resource_tracker.register = _skip_shm
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = orig_register
 
 
 def t_factor_key(op) -> tuple[str, int, int]:
@@ -123,28 +147,9 @@ class SharedTileStore:
 
     @classmethod
     def attach(cls, name: str, layout: TileLayout, ops: list, ib: int) -> "SharedTileStore":
-        """Attach to an existing segment from a worker process.
-
-        The attaching process must not adopt the segment in the (shared)
-        resource tracker — only the creator owns it, and concurrent
-        register/unregister from several workers corrupts the tracker's
-        cache.  Python < 3.13 lacks ``SharedMemory(track=False)``, so
-        registration is suppressed for the duration of the attach.
-        """
-        from multiprocessing import resource_tracker
-
-        orig_register = resource_tracker.register
-
-        def _skip_shm(name_: str, rtype: str) -> None:
-            if rtype != "shared_memory":
-                orig_register(name_, rtype)
-
-        resource_tracker.register = _skip_shm
-        try:
-            shm = shared_memory.SharedMemory(name=name)
-        finally:
-            resource_tracker.register = orig_register
-        return cls(shm, layout, ops, ib, owner=False)
+        """Attach to an existing segment from a worker process (untracked,
+        see :func:`attach_untracked`)."""
+        return cls(attach_untracked(name), layout, ops, ib, owner=False)
 
     @property
     def name(self) -> str:

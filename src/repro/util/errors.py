@@ -23,6 +23,8 @@ __all__ = [
     "SimulationError",
     "DeadlockError",
     "ParallelExecutionError",
+    "WatchdogTimeout",
+    "RetryExhaustedError",
     "TraceError",
 ]
 
@@ -85,6 +87,28 @@ class DeadlockError(SimulationError):
 
 class ParallelExecutionError(ReproError):
     """A worker process of the parallel backend failed or disappeared."""
+
+
+class WatchdogTimeout(ReproError, TimeoutError):
+    """A watchdog observed no progress for longer than its deadline.
+
+    Raised instead of hanging: the message carries the watched component's
+    progress report (e.g. the runtime's ``_deadlock_report()``) so the
+    stall is diagnosable post mortem.  Also a :class:`TimeoutError`, so
+    generic timeout handling catches it without importing :mod:`repro`.
+    """
+
+
+class RetryExhaustedError(ReproError, TimeoutError):
+    """A retransmit/redispatch protocol gave up after its retry budget.
+
+    The ack/retransmit protocol of the PULSAR proxy and the re-dispatch
+    logic of the parallel dispatcher retry lost work a bounded number of
+    times; when the budget is exhausted the failure is surfaced as this
+    error rather than retrying forever.  Also a :class:`TimeoutError` (the
+    retries were bounded by time/attempts), keeping the single-root
+    :class:`ReproError` contract.
+    """
 
 
 class TraceError(ReproError, ValueError):

@@ -12,6 +12,7 @@ from repro.experiments import (
     ExperimentResult,
     PAPER,
     memory_per_node,
+    run_chaos,
     run_figure7,
     run_figure10,
     run_figure11,
@@ -164,3 +165,12 @@ class TestWeakScaling:
         assert len(res.rows) == len(CFG.fig11_cores)
         hier = res.column("hier_gflops")
         assert hier[-1] > hier[0]  # total rate grows with the machine
+
+
+class TestChaos:
+    def test_every_faulty_run_is_bit_exact(self):
+        res = run_chaos(CFG)
+        assert all(res.column("exact"))
+        # The sweep must actually inject faults, or it proves nothing.
+        assert max(res.column("retransmits")) > 0
+        assert max(res.column("respawned")) > 0

@@ -119,6 +119,38 @@ class TestPersistence:
         with pytest.raises(ConfigurationError, match="format version"):
             load_factorization(path)
 
+    def test_path_without_suffix_gets_npz(self, tmp_path):
+        a = random_dense(40, 24, seed=78)
+        f = qr_factor(a, nb=8, ib=4, tree="hier", h=3)
+        save_factorization(tmp_path / "bare", f)  # numpy-compatible behaviour
+        g = load_factorization(tmp_path / "bare.npz")
+        np.testing.assert_array_equal(f.R, g.R)
+
+    def test_save_killed_midway_leaves_old_archive_intact(self, tmp_path, monkeypatch):
+        """Crash-safety: a write dying halfway never corrupts the target."""
+        import repro.qr.persist as persist_mod
+
+        a = random_dense(40, 24, seed=79)
+        f = qr_factor(a, nb=8, ib=4, tree="hier", h=3)
+        path = tmp_path / "fac.npz"
+        save_factorization(path, f)
+        good = path.read_bytes()
+
+        real_savez = persist_mod.np.savez_compressed
+
+        def killed_midway(fh, **arrays):
+            real_savez(fh, **arrays)  # bytes hit the temp file...
+            raise KeyboardInterrupt("simulated kill -9 before rename")
+
+        monkeypatch.setattr(persist_mod.np, "savez_compressed", killed_midway)
+        g = qr_factor(random_dense(40, 24, seed=80), nb=8, ib=4, tree="hier", h=3)
+        with pytest.raises(KeyboardInterrupt):
+            save_factorization(path, g)
+        # The interrupted save changed nothing visible and left no litter.
+        assert path.read_bytes() == good
+        assert [p.name for p in tmp_path.iterdir()] == ["fac.npz"]
+        np.testing.assert_array_equal(load_factorization(path).R, f.R)
+
 
 class TestSvgPlot:
     def test_series_validation(self):
