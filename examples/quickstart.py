@@ -20,6 +20,7 @@ Run:  python examples/quickstart.py [trace-output.json]
 
 from __future__ import annotations
 
+import pathlib
 import sys
 
 import numpy as np
@@ -85,7 +86,10 @@ def main() -> None:
     # trace= works on every backend and writes Chrome-trace JSON: drop the
     # file on https://ui.perfetto.dev to see one track per worker.  The
     # counters give per-kernel flops and runtime event totals either way.
-    trace_path = sys.argv[1] if len(sys.argv) > 1 else "quickstart_trace.json"
+    # The default output lives under results/ (gitignored) so rerunning the
+    # quickstart never dirties the working tree.
+    trace_path = sys.argv[1] if len(sys.argv) > 1 else "results/quickstart_trace.json"
+    pathlib.Path(trace_path).parent.mkdir(parents=True, exist_ok=True)
     f_traced = qr_factor(
         a, nb=32, ib=8, tree="hier", h=4,
         backend="pulsar", n_nodes=2, workers_per_node=2,

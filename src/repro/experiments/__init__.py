@@ -12,6 +12,7 @@ from .crossover import find_crossover, run_crossover
 from .figure7 import run_figure7, trace_gantt
 from .mapping_ablation import LAUNCH_CONFIGS, run_mapping_ablation
 from .memory_limits import run_memory_limits
+from .perf import run_perf
 from .figure10 import run_figure10, simulate_tree_qr
 from .figure11 import run_figure11
 from .presets import PAPER, ExperimentConfig, active_config, full_scale_requested, scaled
@@ -46,4 +47,5 @@ __all__ = [
     "find_crossover",
     "run_crossover",
     "run_chaos",
+    "run_perf",
 ]

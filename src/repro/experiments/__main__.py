@@ -33,6 +33,7 @@ from . import (
     run_crossover,
     run_mapping_ablation,
     run_memory_limits,
+    run_perf,
     run_figure7,
     run_figure10,
     run_figure11,
@@ -57,10 +58,11 @@ _EXPERIMENTS = {
     "mapping": lambda cfg: [run_mapping_ablation(cfg)],
     "crossover": lambda cfg: [run_crossover(cfg)],
     "chaos": lambda cfg: [run_chaos(cfg)],
+    "perf": run_perf,
 }
 _EXPERIMENTS["all"] = lambda cfg: [r for k in (
     "fig10", "fig11", "fig7", "sec6a", "tuning", "sched", "weak", "memory", "mapping",
-    "crossover", "chaos",
+    "crossover", "chaos", "perf",
 ) for r in _EXPERIMENTS[k](cfg)]
 
 

@@ -63,7 +63,8 @@ def _instrumented(kind, flops_of, fn):
         start = rec.now()
         out = fn(*args, **kw)
         rec.record_kernel(
-            kind, cat, flops_of(*args), start, rec.now(), _obs_record.current_lane()
+            kind, cat, flops_of(*args), start, rec.now(),
+            _obs_record.current_lane(), op=_obs_record.current_op(),
         )
         return out
 

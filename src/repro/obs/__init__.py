@@ -13,7 +13,13 @@ incompatible shapes.  This package gives them one schema:
 * exporters — Chrome-trace/Perfetto JSON (:func:`write_chrome_trace`),
   summary tables (:func:`span_summary`, :func:`counter_summary`), CSV;
 * :func:`validate_chrome_trace` — structural schema check (also a CLI:
-  ``python -m repro.obs.validate trace.json``).
+  ``python -m repro.obs.validate trace.json``);
+* analysis — :func:`realized_critical_path` / :func:`lane_attribution`
+  answer "where did the time go" from recorded spans (see
+  ``docs/performance.md``);
+* :class:`MetricsSampler` — a background thread streaming counter/gauge
+  snapshots to JSON-lines while a backend runs (tail or summarise with
+  ``python -m repro.obs.monitor metrics.jsonl``).
 
 Quick start: ``qr_factor(a, backend="parallel", trace="t.json")`` records
 spans from whichever backend runs and writes a Perfetto-loadable JSON; see
@@ -26,6 +32,15 @@ from .adapters import (
     counters_from_ops,
     recorder_from_sim_result,
     spans_from_des_trace,
+)
+from .analysis import (
+    CriticalPathResult,
+    CriticalPathStep,
+    LaneUsage,
+    attribution_table,
+    lane_attribution,
+    match_spans_to_ops,
+    realized_critical_path,
 )
 from .export import (
     counter_summary,
@@ -40,12 +55,15 @@ from .record import (
     Recorder,
     Span,
     current_lane,
+    current_op,
     get_recorder,
     install,
     recording,
+    set_current_op,
     set_worker_lane,
     uninstall,
 )
+from .sampler import MetricsSampler
 from .validate import validate_chrome_trace
 
 __all__ = [
@@ -58,6 +76,16 @@ __all__ = [
     "recording",
     "set_worker_lane",
     "current_lane",
+    "set_current_op",
+    "current_op",
+    "match_spans_to_ops",
+    "realized_critical_path",
+    "lane_attribution",
+    "attribution_table",
+    "CriticalPathStep",
+    "CriticalPathResult",
+    "LaneUsage",
+    "MetricsSampler",
     "KERNEL_CATEGORY",
     "KIND_CATEGORY",
     "spans_from_des_trace",

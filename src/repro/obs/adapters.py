@@ -101,7 +101,7 @@ def recorder_from_sim_result(result, *, ops=None, ib: int | None = None) -> Reco
             "SimResult has no trace; run simulate(..., record_trace=True)"
         )
     rec = Recorder(clock="virtual")
-    rec.spans.extend(spans_from_des_trace(result.trace))
+    rec.ingest_spans(spans_from_des_trace(result.trace), clock="virtual")
     rec.counters.add("tasks", result.n_tasks)
     for w in range(result.n_workers):
         rec.lane_names[w] = f"worker {w}"

@@ -1,0 +1,312 @@
+"""Performance analysis over recorded spans: where did the time go?
+
+The recording layer (:mod:`repro.obs.record`) captures *what happened*;
+this module answers the paper's actual question — whether the pipeline
+stayed busy and the panel critical path stayed short (Sec. VI-A).  Three
+analyses, all operating on the same :class:`~repro.obs.record.Span` model
+so they apply to every backend alike:
+
+* :func:`match_spans_to_ops` joins measured kernel spans back onto the
+  operation list.  Spans tagged with an op index (``Span.args["op"]``, see
+  :meth:`Recorder.record_kernel`) match exactly even when lanes finish work
+  out of program order; untagged traces fall back to per-kind schedule
+  order, which is sound for the serial executor.
+* :func:`realized_critical_path` walks the dataflow DAG
+  (:func:`repro.qr.dag.op_dependency_graph`) *backwards* from the last
+  kernel to finish, at each step following the predecessor that finished
+  latest — the chain of ops that actually bounded the wall time, with the
+  scheduling/communication wait incurred before each hop.
+* :func:`lane_attribution` splits each lane's wall time into **busy**
+  (kernel execution), **overhead** (non-kernel span time: firings, proxy
+  work, dispatch) and **idle** (no span at all); the three sum to the wall
+  time exactly, per lane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..util.errors import TraceError
+from ..util.formatting import format_table
+from .adapters import KERNEL_CATEGORY
+from .record import Span
+
+__all__ = [
+    "match_spans_to_ops",
+    "realized_critical_path",
+    "lane_attribution",
+    "attribution_table",
+    "CriticalPathStep",
+    "CriticalPathResult",
+    "LaneUsage",
+]
+
+
+def _kernel_spans(spans) -> list[Span]:
+    return [s for s in spans if s.name in KERNEL_CATEGORY]
+
+
+def match_spans_to_ops(spans, ops) -> list[Span | None]:
+    """One measured kernel span per op (schedule order), ``None`` if unmeasured.
+
+    When any kernel span carries an op index the join is by identity:
+    ``Span.args["op"]`` must be a valid index whose op kind matches the span
+    name (anything else raises :class:`TraceError`); if an op was measured
+    twice — possible when the fault layer re-dispatches in-flight work — the
+    first report wins.  Traces without op tags (DES exports, pre-existing
+    files) are matched per kind in recording order, which equals schedule
+    order only for serial execution; mixed traces use the tagged spans only.
+    """
+    kspans = _kernel_spans(spans)
+    n = len(ops)
+    out: list[Span | None] = [None] * n
+    tagged = [s for s in kspans if "op" in s.args]
+    if tagged:
+        for s in tagged:
+            i = s.args["op"]
+            if not isinstance(i, int) or not 0 <= i < n:
+                raise TraceError(f"span {s.name!r} tagged with invalid op index {i!r}")
+            if ops[i].kind != s.name:
+                raise TraceError(
+                    f"span {s.name!r} tagged as op {i}, but op {i} is {ops[i].kind}"
+                )
+            if out[i] is None:
+                out[i] = s
+        return out
+    by_kind: dict[str, list[Span]] = {}
+    for s in kspans:
+        by_kind.setdefault(s.name, []).append(s)
+    cursor = {k: 0 for k in by_kind}
+    for i, op in enumerate(ops):
+        queue = by_kind.get(op.kind)
+        if queue is None:
+            continue
+        j = cursor[op.kind]
+        if j < len(queue):
+            out[i] = queue[j]
+            cursor[op.kind] = j + 1
+    return out
+
+
+@dataclass(frozen=True)
+class CriticalPathStep:
+    """One hop of the realized critical path."""
+
+    op_index: int
+    kind: str
+    lane: int
+    start: float
+    end: float
+    #: Gap between the binding predecessor's finish (or the trace window
+    #: start, for the first hop) and this op's start: scheduling latency,
+    #: communication, or time lost to unrelated work occupying the lane.
+    wait_s: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class CriticalPathResult:
+    """The realized critical path plus per-kind on/off-path accounting.
+
+    ``path_s + wait_s`` equals the trace window (``wall_s``) by
+    construction: walking backwards from the last finisher through the
+    latest-finishing measured predecessor covers the window with
+    alternating execution and wait segments.
+    """
+
+    steps: list[CriticalPathStep]
+    #: Trace window of the measured kernel spans (first start to last end).
+    wall_s: float
+    #: Per kernel kind: (count on path, seconds on path).
+    on_path: dict[str, tuple[int, float]] = field(default_factory=dict)
+    #: Per kernel kind: (count measured, seconds measured) over *all* ops.
+    totals: dict[str, tuple[int, float]] = field(default_factory=dict)
+
+    @property
+    def path_s(self) -> float:
+        return sum(s.duration for s in self.steps)
+
+    @property
+    def wait_s(self) -> float:
+        return sum(s.wait_s for s in self.steps)
+
+    def table(self) -> str:
+        """Per-kind breakdown: time on the path vs off it."""
+        rows = []
+        for kind in sorted(self.totals, key=lambda k: -self.totals[k][1]):
+            n_tot, s_tot = self.totals[kind]
+            n_on, s_on = self.on_path.get(kind, (0, 0.0))
+            share = s_on / self.path_s if self.path_s > 0 else 0.0
+            rows.append([
+                kind, n_on, n_tot, f"{s_on * 1e3:.3f}", f"{(s_tot - s_on) * 1e3:.3f}",
+                f"{share:6.1%}",
+            ])
+        return format_table(
+            ["kind", "on_path", "total", "on_path_ms", "off_path_ms", "path_share"],
+            rows,
+        )
+
+    def summary(self) -> str:
+        return (
+            f"critical path: {len(self.steps)} ops, "
+            f"{self.path_s * 1e3:.3f} ms executing + {self.wait_s * 1e3:.3f} ms waiting "
+            f"over a {self.wall_s * 1e3:.3f} ms window"
+        )
+
+
+def realized_critical_path(ops, op_spans, graph=None) -> CriticalPathResult:
+    """The chain of measured ops that bounded the wall time.
+
+    Starting from the measured op with the latest end time, repeatedly step
+    to the dependency-graph predecessor with the latest *end* — the one
+    whose completion gated (or came closest to gating) the current op's
+    start — until an op with no measured predecessors is reached.  Each hop
+    records the wait between the predecessor's finish and the op's start.
+
+    Parameters
+    ----------
+    ops:
+        The operation list (schedule order).
+    op_spans:
+        Output of :func:`match_spans_to_ops` — one span or ``None`` per op.
+    graph:
+        The op dataflow DAG; derived with
+        :func:`repro.qr.dag.op_dependency_graph` when omitted.
+    """
+    if len(op_spans) != len(ops):
+        raise TraceError(f"op_spans has {len(op_spans)} entries for {len(ops)} ops")
+    matched = [i for i, s in enumerate(op_spans) if s is not None]
+    if not matched:
+        raise TraceError("no measured spans matched any op; nothing to analyse")
+    if graph is None:
+        from ..qr.dag import op_dependency_graph
+
+        graph = op_dependency_graph(ops)
+    preds: list[list[int]] = [[] for _ in range(len(ops))]
+    for t in range(graph.n_tasks):
+        for e in range(graph.succ_index[t], graph.succ_index[t + 1]):
+            preds[int(graph.succ_task[e])].append(t)
+
+    t0 = min(op_spans[i].start for i in matched)
+    t1 = max(op_spans[i].end for i in matched)
+    cur = max(matched, key=lambda i: op_spans[i].end)
+    chain: list[int] = [cur]
+    while True:
+        measured_preds = [p for p in preds[cur] if op_spans[p] is not None]
+        if not measured_preds:
+            break
+        cur = max(measured_preds, key=lambda p: op_spans[p].end)
+        chain.append(cur)
+    chain.reverse()
+
+    steps = []
+    prev_end = t0
+    for i in chain:
+        s = op_spans[i]
+        steps.append(CriticalPathStep(
+            op_index=i, kind=ops[i].kind, lane=s.worker,
+            start=s.start, end=s.end, wait_s=max(0.0, s.start - prev_end),
+        ))
+        prev_end = s.end
+
+    on_path: dict[str, tuple[int, float]] = {}
+    for st in steps:
+        n, t = on_path.get(st.kind, (0, 0.0))
+        on_path[st.kind] = (n + 1, t + st.duration)
+    totals: dict[str, tuple[int, float]] = {}
+    for i in matched:
+        s = op_spans[i]
+        n, t = totals.get(s.name, (0, 0.0))
+        totals[s.name] = (n + 1, t + s.duration)
+    return CriticalPathResult(steps=steps, wall_s=t1 - t0, on_path=on_path, totals=totals)
+
+
+@dataclass(frozen=True)
+class LaneUsage:
+    """One lane's wall-time split; ``busy + overhead + idle == wall``."""
+
+    lane: int
+    label: str
+    n_kernels: int
+    #: Seconds inside kernel spans.
+    busy_s: float
+    #: Seconds covered by some span but not kernel work — firings, proxy
+    #: relays, dispatch batches.  (Negative only if kernel spans overlap on
+    #: one lane, which the lane model forbids.)
+    overhead_s: float
+    #: Seconds with no span at all: waiting for dependencies or shutdown.
+    idle_s: float
+    wall_s: float
+
+    @property
+    def busy_frac(self) -> float:
+        return self.busy_s / self.wall_s if self.wall_s > 0 else 0.0
+
+
+def _union_length(intervals: list[tuple[float, float]]) -> float:
+    """Total length of the union of ``[start, end)`` intervals."""
+    total = 0.0
+    hi = float("-inf")
+    for a, b in sorted(intervals):
+        if b <= hi:
+            continue
+        total += b - max(a, hi)
+        hi = b
+    return total
+
+
+def lane_attribution(spans, lane_names=None) -> list[LaneUsage]:
+    """Split every lane's share of the trace window into busy/overhead/idle.
+
+    The window is the whole trace's extent (first span start to last span
+    end), identical for every lane, so the rows are directly comparable:
+    a lane that joined late or finished early shows the difference as idle
+    time.  Within a lane, *busy* is the summed duration of kernel spans,
+    *overhead* is the additional time covered by any span (runtime events
+    envelop the kernels they run), and *idle* is the remainder.
+    """
+    spans = list(spans)
+    if not spans:
+        raise TraceError("no spans to attribute")
+    lane_names = lane_names or {}
+    t0 = min(s.start for s in spans)
+    t1 = max(s.end for s in spans)
+    wall = t1 - t0
+    by_lane: dict[int, list[Span]] = {}
+    for s in spans:
+        by_lane.setdefault(s.worker, []).append(s)
+    out = []
+    for lane in sorted(by_lane):
+        mine = by_lane[lane]
+        kernels = [s for s in mine if s.name in KERNEL_CATEGORY]
+        busy = sum(s.duration for s in kernels)
+        active = _union_length([(s.start, s.end) for s in mine])
+        out.append(LaneUsage(
+            lane=lane,
+            label=lane_names.get(lane, f"lane {lane}"),
+            n_kernels=len(kernels),
+            busy_s=busy,
+            overhead_s=active - busy,
+            idle_s=wall - active,
+            wall_s=wall,
+        ))
+    return out
+
+
+def attribution_table(lanes: list[LaneUsage]) -> str:
+    """Render :func:`lane_attribution` rows as a text table."""
+    rows = [
+        [
+            u.lane, u.label, u.n_kernels,
+            f"{u.busy_s * 1e3:.3f}", f"{u.overhead_s * 1e3:.3f}",
+            f"{u.idle_s * 1e3:.3f}", f"{u.busy_frac:6.1%}",
+        ]
+        for u in lanes
+    ]
+    return format_table(
+        ["lane", "label", "kernels", "busy_ms", "overhead_ms", "idle_ms", "busy_frac"],
+        rows,
+    )

@@ -1,0 +1,131 @@
+"""Summarise or tail a metrics JSON-lines file written by the sampler.
+
+Summary mode (default) reads the whole file and prints one table of every
+gauge and rate (min / mean / max / last) plus the final counter values::
+
+    python -m repro.obs.monitor metrics.jsonl
+
+Follow mode tails the file while a run is in progress, printing one line
+per new sample — like ``tail -f`` but rendered::
+
+    python -m repro.obs.monitor metrics.jsonl --follow
+
+``--follow`` polls until interrupted (Ctrl-C) or, with ``--timeout S``,
+until the file has not grown for ``S`` seconds (useful in scripts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from ..util.formatting import format_table
+
+__all__ = ["summarize", "main"]
+
+
+def _load(path: Path) -> list[dict]:
+    samples = []
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                samples.append(json.loads(line))
+    return samples
+
+
+def summarize(samples: list[dict]) -> str:
+    """Render min/mean/max/last for every gauge and rate, plus counters."""
+    if not samples:
+        return "no samples"
+    series: dict[str, list[float]] = {}
+    for s in samples:
+        for group in ("gauges", "rates"):
+            for key, value in s.get(group, {}).items():
+                series.setdefault(key, []).append(float(value))
+    out = [
+        f"{len(samples)} samples over {samples[-1]['t'] - samples[0]['t']:.3f}s"
+    ]
+    if series:
+        rows = [
+            [key, f"{min(v):.6g}", f"{sum(v) / len(v):.6g}", f"{max(v):.6g}", f"{v[-1]:.6g}"]
+            for key, v in sorted(series.items())
+        ]
+        out.append(format_table(["metric", "min", "mean", "max", "last"], rows))
+    counters = samples[-1].get("counters", {})
+    if counters:
+        rows = [[key, f"{value:.6g}"] for key, value in sorted(counters.items())]
+        out.append(format_table(["counter", "final"], rows))
+    return "\n\n".join(out)
+
+
+def _format_sample(sample: dict) -> str:
+    parts = [f"t={sample.get('t', 0):.3f}s"]
+    for key, value in sorted(sample.get("gauges", {}).items()):
+        parts.append(f"{key}={value:g}")
+    for key, value in sorted(sample.get("rates", {}).items()):
+        parts.append(f"{key}={value:.4g}")
+    return "  ".join(parts)
+
+
+def _follow(path: Path, timeout: float | None, poll: float = 0.1) -> int:
+    pos = 0
+    quiet_since = time.monotonic()
+    buffer = ""
+    while True:
+        try:
+            with open(path, encoding="utf-8") as f:
+                f.seek(pos)
+                chunk = f.read()
+                pos = f.tell()
+        except FileNotFoundError:
+            chunk = ""
+        if chunk:
+            quiet_since = time.monotonic()
+            buffer += chunk
+            *lines, buffer = buffer.split("\n")
+            for line in lines:
+                if line.strip():
+                    print(_format_sample(json.loads(line)), flush=True)
+        elif timeout is not None and time.monotonic() - quiet_since > timeout:
+            return 0
+        try:
+            time.sleep(poll)
+        except KeyboardInterrupt:
+            return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.monitor",
+        description="Summarise or tail a sampler metrics .jsonl file.",
+    )
+    parser.add_argument("path", type=Path, help="metrics JSON-lines file")
+    parser.add_argument(
+        "--follow", action="store_true", help="tail new samples instead of summarising"
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="with --follow: exit after the file stops growing for this many seconds",
+    )
+    args = parser.parse_args(argv)
+    if args.follow:
+        return _follow(args.path, args.timeout)
+    if not args.path.exists():
+        print(f"error: {args.path} does not exist", file=sys.stderr)
+        return 2
+    print(summarize(_load(args.path)))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe — normal CLI shutdown.
+        sys.exit(0)

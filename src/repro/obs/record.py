@@ -19,9 +19,14 @@ how ``qr_factor`` keeps its throughput when tracing is off.
 
 Clocks: a real-time recorder stamps spans with ``time.perf_counter()``
 relative to its installation instant (``Recorder.now``).  Virtual-time
-spans (from the discrete-event simulator) are constructed directly by the
-adapter in :mod:`repro.obs.adapters` with simulated seconds; the recorder's
-``clock`` label travels into the export so tools can tell them apart.
+spans (from the discrete-event simulator) are constructed by the adapter
+in :mod:`repro.obs.adapters` with simulated seconds and ingested through
+:meth:`Recorder.ingest_spans`; the recorder's ``clock`` label travels into
+the export so tools can tell them apart.  The two domains may never meet:
+every recording entry point checks that the span's clock matches the
+recorder's and raises :class:`~repro.util.errors.TraceError` otherwise, so
+a simulated span can never silently interleave with wall-clock spans on
+one lane.
 
 Doctest::
 
@@ -40,8 +45,11 @@ from __future__ import annotations
 
 import threading
 import time
+from collections.abc import Callable, Iterable
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+from ..util.errors import TraceError
 
 __all__ = [
     "Span",
@@ -53,6 +61,8 @@ __all__ = [
     "recording",
     "set_worker_lane",
     "current_lane",
+    "set_current_op",
+    "current_op",
     "K_FIRINGS",
     "K_PACKETS_PUSHED",
     "K_PACKETS_BYPASSED",
@@ -191,6 +201,7 @@ class Recorder:
         self.spans: list[Span] = []
         self.counters = Counters()
         self.lane_names: dict[int, str] = {}
+        self.gauges: dict[str, Callable[[], float]] = {}
         self._t0 = time.perf_counter()
         self._lock = threading.Lock()
 
@@ -210,6 +221,27 @@ class Recorder:
         """
         return t - self._t0
 
+    # -- hygiene -------------------------------------------------------------
+
+    def _check_lane(self, worker) -> int:
+        """Normalize a lane id; reject anything that is not a small index.
+
+        Lane ids name Chrome-trace threads and index attribution tables, so
+        a float rank or a negative id would silently create phantom lanes.
+        """
+        lane = int(worker)
+        if lane != worker or lane < 0:
+            raise TraceError(f"span lane must be a non-negative integer, got {worker!r}")
+        return lane
+
+    def _check_clock(self, expected: str, what: str) -> None:
+        if self.clock != expected:
+            raise TraceError(
+                f"{what} carries {expected}-clock timestamps but this recorder "
+                f"records {self.clock} time; mixing clock domains on one lane "
+                "would interleave incomparable spans"
+            )
+
     # -- recording -----------------------------------------------------------
 
     def add_span(
@@ -221,11 +253,31 @@ class Recorder:
         worker: int = 0,
         args: dict | None = None,
     ) -> Span:
-        """Append one completed span (times already in recorder seconds)."""
-        s = Span(name, cat, float(start), float(end), int(worker), dict(args or {}))
+        """Append one completed real-time span (times in recorder seconds)."""
+        self._check_clock("real", f"add_span({name!r})")
+        if end < start:
+            raise TraceError(f"span {name!r} ends before it starts ({end} < {start})")
+        s = Span(name, cat, float(start), float(end), self._check_lane(worker), dict(args or {}))
         with self._lock:
             self.spans.append(s)
         return s
+
+    def ingest_spans(self, spans: Iterable[Span], clock: str = "virtual") -> None:
+        """Bulk-append adapter-built spans stamped in ``clock`` time.
+
+        The entry point for the DES adapter: the spans carry simulated
+        seconds, so the recorder must be a virtual-clock one — feeding them
+        to a real-time recorder (or vice versa) raises ``TraceError``.
+        """
+        self._check_clock(clock, f"ingest_spans(clock={clock!r})")
+        checked = []
+        for s in spans:
+            if s.end < s.start:
+                raise TraceError(f"span {s.name!r} ends before it starts ({s.end} < {s.start})")
+            self._check_lane(s.worker)
+            checked.append(s)
+        with self._lock:
+            self.spans.extend(checked)
 
     def count(self, key: str, value: float = 1.0) -> None:
         with self._lock:
@@ -239,14 +291,22 @@ class Recorder:
         start: float,
         end: float,
         worker: int,
+        op: int | None = None,
     ) -> None:
         """One kernel invocation: span + the four flop/op counters.
 
         A single-lock fast path for the shim in :mod:`repro.kernels`, which
-        sits on the hot path of every backend.
+        sits on the hot path of every backend.  ``op`` is the index of the
+        originating :class:`~repro.qr.ops.Op` in schedule order when the
+        backend knows it; it lands in ``Span.args["op"]`` and lets
+        :mod:`repro.obs.analysis` join spans back onto the dependency graph
+        even when lanes complete work out of program order.
         """
+        self._check_clock("real", f"record_kernel({kind!r})")
+        lane = self._check_lane(worker)
+        args = {} if op is None else {"op": op}
         with self._lock:
-            self.spans.append(Span(kind, cat, start, end, worker))
+            self.spans.append(Span(kind, cat, start, end, lane, args))
             c = self.counters
             c.add(f"flops.{kind}", flops)
             c.add(f"ops.{kind}")
@@ -270,17 +330,56 @@ class Recorder:
 
     def name_lane(self, lane: int, name: str) -> None:
         with self._lock:
-            self.lane_names[lane] = name
+            self.lane_names[self._check_lane(lane)] = name
 
     @contextmanager
     def span(self, name: str, cat: str = "default", worker: int | None = None, **args):
         """Context manager recording a real-time span around its body."""
+        self._check_clock("real", f"span({name!r})")
         lane = current_lane() if worker is None else worker
         start = self.now()
         try:
             yield self
         finally:
             self.add_span(name, cat, start, self.now(), worker=lane, args=args)
+
+    # -- gauges --------------------------------------------------------------
+    # Instantaneous values that only exist while a backend runs (ready-queue
+    # depth, in-flight ops, live workers...).  Backends register a zero-arg
+    # callable per gauge around their execution window; the metrics sampler
+    # (:mod:`repro.obs.sampler`) polls them from its own thread.
+
+    def register_gauge(self, name: str, fn: Callable[[], float]) -> None:
+        """Expose ``fn()`` as the live value of gauge ``name``."""
+        with self._lock:
+            self.gauges[name] = fn
+
+    def unregister_gauge(self, name: str) -> None:
+        """Remove gauge ``name`` (missing names are ignored)."""
+        with self._lock:
+            self.gauges.pop(name, None)
+
+    def read_gauges(self) -> dict[str, float]:
+        """Snapshot every registered gauge.
+
+        Gauges read backend-owned state that mutates concurrently; a gauge
+        that throws mid-read (e.g. a dict resized during iteration) is
+        skipped for that sample rather than killing the sampler thread.
+        """
+        with self._lock:
+            fns = list(self.gauges.items())
+        out: dict[str, float] = {}
+        for name, fn in fns:
+            try:
+                out[name] = float(fn())
+            except Exception:
+                continue
+        return out
+
+    def counters_snapshot(self) -> dict[str, float]:
+        """A point-in-time copy of the counters (safe to read concurrently)."""
+        with self._lock:
+            return dict(self.counters)
 
 
 # -- process-global recorder -------------------------------------------------
@@ -342,3 +441,21 @@ def set_worker_lane(lane: int) -> None:
 def current_lane() -> int:
     """The calling thread's span lane (0 when never set)."""
     return getattr(_LANE, "value", 0)
+
+
+# -- op identity -------------------------------------------------------------
+# Which schedule-order op index the *current thread* is executing, so the
+# kernel shim can tag each span with the op it realises.  Executors that know
+# the op list (the serial loop, the PULSAR VDP bodies) set this just before
+# calling the kernel; the parallel backend's dispatcher tags spans directly.
+_OP = threading.local()
+
+
+def set_current_op(index: int | None) -> None:
+    """Bind kernel spans recorded by this thread to op ``index`` (or clear)."""
+    _OP.value = index
+
+
+def current_op() -> int | None:
+    """The op index bound to the calling thread (``None`` when unknown)."""
+    return getattr(_OP, "value", None)

@@ -1,0 +1,40 @@
+"""Performance analytics: model-vs-measured gaps and benchmark gating.
+
+Built on the evidence the observability layer records (:mod:`repro.obs`):
+
+* :func:`gap_report` replays an operation list through the machine model
+  (:mod:`repro.machine`) and compares predicted against measured time per
+  kernel kind and per tree phase, flagging kernels whose efficiency
+  deviates from the model beyond a threshold;
+* :func:`analyze_factorization` bundles the critical-path, lane-attribution
+  and gap analyses for one traced :func:`repro.qr_factor` run;
+* :mod:`repro.perf.bench` maintains the append-only benchmark trajectory
+  (``results/BENCH_qr.json``) and implements the regression checks behind
+  ``tools/bench_gate.py``.
+
+See ``docs/performance.md`` for how to read the reports, and
+``python -m repro.experiments perf`` for the three-backend comparison.
+"""
+
+from .analyze import PerfAnalysis, analyze_factorization
+from .bench import (
+    append_entry,
+    baseline_for,
+    check_regression,
+    load_trajectory,
+    run_qr_benchmark,
+)
+from .gap import GapReport, KernelGap, gap_report
+
+__all__ = [
+    "GapReport",
+    "KernelGap",
+    "gap_report",
+    "PerfAnalysis",
+    "analyze_factorization",
+    "run_qr_benchmark",
+    "load_trajectory",
+    "append_entry",
+    "baseline_for",
+    "check_regression",
+]

@@ -1,0 +1,75 @@
+"""One-call performance analysis of a traced factorization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.model import MachineModel, kraken
+from ..obs.analysis import (
+    CriticalPathResult,
+    LaneUsage,
+    attribution_table,
+    lane_attribution,
+    match_spans_to_ops,
+    realized_critical_path,
+)
+from ..util.errors import TraceError
+from .gap import GapReport, gap_report
+
+__all__ = ["PerfAnalysis", "analyze_factorization"]
+
+
+@dataclass
+class PerfAnalysis:
+    """The three analyses of one recorded run, ready to print."""
+
+    backend: str
+    critical_path: CriticalPathResult
+    lanes: list[LaneUsage]
+    gap: GapReport
+
+    def to_text(self) -> str:
+        return "\n\n".join([
+            f"[{self.backend}] {self.critical_path.summary()}",
+            self.critical_path.table(),
+            attribution_table(self.lanes),
+            self.gap.table(),
+            self.gap.summary(),
+        ])
+
+
+def analyze_factorization(
+    f,
+    *,
+    machine: MachineModel | None = None,
+    threshold: float = 0.5,
+) -> PerfAnalysis:
+    """Analyse a :class:`~repro.qr.api.QRFactorization` recorded with ``trace=``.
+
+    Joins the run's spans onto its operation list, extracts the realized
+    critical path, attributes each lane's wall time, and compares measured
+    kernel times against ``machine`` (default: the paper's Kraken model).
+
+    >>> import numpy as np
+    >>> from repro import qr_factor
+    >>> from repro.perf import analyze_factorization
+    >>> a = np.arange(48.0).reshape(12, 4) + 10.0 * np.eye(12, 4)
+    >>> f = qr_factor(a, nb=4, ib=2, tree="flat", trace="/dev/null")
+    >>> pa = analyze_factorization(f)
+    >>> len(pa.critical_path.steps) >= 1 and pa.gap.unmeasured
+    0
+    """
+    if f.recorder is None:
+        raise TraceError(
+            "factorization was not recorded; pass trace= (or metrics=) to qr_factor"
+        )
+    ops, ib = f._ops, f._ib
+    op_spans = match_spans_to_ops(f.recorder.spans, ops)
+    return PerfAnalysis(
+        backend=f.backend,
+        critical_path=realized_critical_path(ops, op_spans),
+        lanes=lane_attribution(f.recorder.spans, f.recorder.lane_names),
+        gap=gap_report(
+            ops, ib, machine or kraken(), op_spans, threshold=threshold
+        ),
+    )

@@ -1,0 +1,200 @@
+"""Benchmark trajectory and regression checks behind ``tools/bench_gate.py``.
+
+The trajectory file (``results/BENCH_qr.json``) is an append-only record:
+one entry per gate run, stamped with the commit hash, the host fingerprint,
+the pinned configuration, measured wall times, and deterministic derived
+counters.  The gate compares a fresh entry against the **minimum** of the
+most recent entries with the *same configuration on the same host* — the
+minimum, so one slow historical run (a loaded CI machine, an injected
+failure) can never lower the bar — and fails on:
+
+* a wall time above ``baseline * (1 + tolerance)`` (the noise band), or
+* any drift in the derived counters (op/flop totals are schedule facts:
+  they must be *exactly* reproducible, and a change means the generated
+  operation list itself changed).
+
+Cross-host comparisons are meaningless for wall time, so entries from a
+different fingerprint are recorded but never used as a baseline; the first
+run on a new host passes and seeds its baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..qr.api import qr_factor
+from ..util.errors import ConfigurationError
+
+__all__ = [
+    "run_qr_benchmark",
+    "load_trajectory",
+    "append_entry",
+    "baseline_for",
+    "check_regression",
+    "SMOKE_CONFIG",
+    "FULL_CONFIG",
+]
+
+#: Tiny pinned problem for CI (seconds end to end).
+SMOKE_CONFIG = dict(m=480, n=96, nb=16, ib=8, tree="hier", h=2, procs=2, repeats=2)
+#: Developer-machine pinned problem (tens of seconds).
+FULL_CONFIG = dict(m=4096, n=512, nb=64, ib=32, tree="hier", h=4, procs=4, repeats=3)
+
+#: Wall-time keys subject to the noise band.
+TIME_KEYS = ("serial_s", "parallel_s")
+#: Counter keys that must reproduce exactly.
+COUNTER_KEYS = ("ops.total", "flops.total")
+
+
+def _git_commit() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def host_fingerprint() -> dict:
+    """What must match for two wall times to be comparable."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+    }
+
+
+def run_qr_benchmark(
+    *,
+    m: int,
+    n: int,
+    nb: int,
+    ib: int,
+    tree: str = "hier",
+    h: int = 4,
+    procs: int = 2,
+    repeats: int = 2,
+    seed: int = 0,
+) -> dict:
+    """Factor one pinned matrix on the serial and parallel backends.
+
+    Returns a trajectory entry: best-of-``repeats`` wall time per backend
+    (the minimum is the least noisy location estimator for wall clocks),
+    derived counters from the operation list, and enough identity (commit,
+    host, config) for :func:`baseline_for` to find comparable history.
+    """
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n))
+    kw = dict(nb=nb, ib=ib, tree=tree, h=h)
+
+    def best(fn) -> float:
+        times = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    serial_s = best(lambda: qr_factor(a, **kw))
+    f = [None]
+
+    def run_parallel():
+        f[0] = qr_factor(a, **kw, backend="parallel", n_procs=procs)
+
+    parallel_s = best(run_parallel)
+    counters = f[0].counters
+    return {
+        "written": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "commit": _git_commit(),
+        "host": host_fingerprint(),
+        "config": dict(m=m, n=n, nb=nb, ib=ib, tree=tree, h=h, procs=procs),
+        "measured": {
+            "serial_s": round(serial_s, 6),
+            "parallel_s": round(parallel_s, 6),
+            "parallel_mode": f[0].stats.mode if f[0].stats else "parallel",
+        },
+        # Rounded so summation-order float noise can't trip the exact-match
+        # drift check (op/flop totals are integral in exact arithmetic).
+        "counters": {k: int(round(counters[k])) for k in COUNTER_KEYS},
+        "derived": {
+            "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
+            "serial_gflops": round(counters["flops.total"] / serial_s / 1e9, 3),
+        },
+    }
+
+
+def load_trajectory(path: str | os.PathLike) -> list[dict]:
+    """All recorded entries, oldest first (empty when the file is missing)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    doc = json.loads(path.read_text())
+    if not isinstance(doc, dict) or "entries" not in doc:
+        raise ConfigurationError(f"{path} is not a benchmark trajectory file")
+    return doc["entries"]
+
+
+def append_entry(path: str | os.PathLike, entry: dict) -> None:
+    """Append one entry to the trajectory (creates the file if needed)."""
+    path = Path(path)
+    entries = load_trajectory(path)
+    entries.append(entry)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({"schema": 1, "entries": entries}, indent=1) + "\n")
+
+
+def _comparable(old: dict, new: dict) -> bool:
+    return old.get("config") == new.get("config") and old.get("host") == new.get("host")
+
+
+def baseline_for(entries: list[dict], entry: dict, last_k: int = 5) -> dict | None:
+    """Baseline from the newest ``last_k`` comparable entries, or ``None``.
+
+    Wall-time baselines are the per-key minimum (robust against recorded
+    regressions and injected slowdowns); counters come from the newest
+    comparable entry (they must all agree anyway — drift fails the gate).
+    """
+    same = [e for e in entries if _comparable(e, entry)]
+    if not same:
+        return None
+    recent = same[-last_k:]
+    times = {
+        key: min(e["measured"][key] for e in recent if key in e.get("measured", {}))
+        for key in TIME_KEYS
+        if any(key in e.get("measured", {}) for e in recent)
+    }
+    return {"times": times, "counters": recent[-1].get("counters", {}), "n": len(recent)}
+
+
+def check_regression(entry: dict, baseline: dict, *, tolerance: float = 0.5) -> list[str]:
+    """Problems with ``entry`` vs ``baseline``; empty means the gate passes."""
+    problems = []
+    for key in TIME_KEYS:
+        new = entry["measured"].get(key)
+        base = baseline["times"].get(key)
+        if new is None or base is None:
+            continue
+        if new > base * (1.0 + tolerance):
+            problems.append(
+                f"{key} regressed: {new:.4f}s vs baseline {base:.4f}s "
+                f"(+{new / base - 1:.0%}, noise band +{tolerance:.0%})"
+            )
+    for key in COUNTER_KEYS:
+        new = entry["counters"].get(key)
+        base = baseline["counters"].get(key)
+        if base is not None and new != base:
+            problems.append(
+                f"counter {key} drifted: {new} vs baseline {base} "
+                "(the generated operation list changed)"
+            )
+    return problems

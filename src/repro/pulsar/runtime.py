@@ -323,6 +323,35 @@ class PRT:
         self._ran = True
         # Capture the recorder once; worker/proxy threads read self._rec.
         self._rec = _obs_record._RECORDER
+        if self._rec is not None:
+            # Live runtime state for the metrics sampler (vocabulary in
+            # repro.obs.sampler); unregistered in run()'s finally.
+            self._rec.register_gauge("pulsar.firings", lambda: self._firings)
+            self._rec.register_gauge(
+                "pulsar.workers_alive",
+                lambda: sum(n.workers_alive for n in self.nodes),
+            )
+            self._rec.register_gauge(
+                "pulsar.outgoing_depth",
+                lambda: sum(len(n.outgoing) for n in self.nodes),
+            )
+            self._rec.register_gauge(
+                "pulsar.fabric_inflight",
+                lambda: sum(
+                    self.fabric.pending_count(n.rank) for n in self.nodes
+                ),
+            )
+        try:
+            return self._run_threads()
+        finally:
+            if self._rec is not None:
+                for g in (
+                    "pulsar.firings", "pulsar.workers_alive",
+                    "pulsar.outgoing_depth", "pulsar.fabric_inflight",
+                ):
+                    self._rec.unregister_gauge(g)
+
+    def _run_threads(self) -> RunStats:
         t0 = time.perf_counter()
         threads: list[threading.Thread] = []
         for wid in range(self.cfg.total_workers):

@@ -183,6 +183,7 @@ def qr_factor(
     n_procs: int | None = None,
     batch: int | None = None,
     trace: str | os.PathLike | None = None,
+    metrics: str | os.PathLike | None = None,
     fault_plan=None,
     on_failure: str = "raise",
 ) -> QRFactorization:
@@ -235,6 +236,13 @@ def qr_factor(
         execution (any backend; see :mod:`repro.obs`).  Only the
         factorization itself is recorded — later ``apply_q`` / ``solve``
         calls are not.  Default off, with zero overhead.
+    metrics:
+        Path to stream live metrics samples (JSON-lines) while the backend
+        runs: counters, backend gauges (queue depths, in-flight ops, live
+        workers), and rates, one snapshot every 50 ms plus one at start and
+        finish.  Tail or summarise with
+        ``python -m repro.obs.monitor metrics.jsonl``; combine freely with
+        ``trace=``.
     fault_plan:
         Optional :class:`~repro.faults.FaultPlan` for chaos testing:
         injects packet loss/duplication/delay into the ``pulsar`` fabric
@@ -301,8 +309,14 @@ def qr_factor(
 
     # The recording window covers only the backend execution: factor
     # assembly and any later apply_q/solve calls stay out of the evidence.
-    ctx = _obs_record.recording() if trace is not None else nullcontext(None)
+    record = trace is not None or metrics is not None
+    ctx = _obs_record.recording() if record else nullcontext(None)
     with ctx as recorder:
+        sampler = None
+        if metrics is not None:
+            from ..obs.sampler import MetricsSampler
+
+            sampler = MetricsSampler(recorder, metrics).start()
         try:
             if backend == "serial":
                 if recorder is not None:
@@ -339,6 +353,9 @@ def qr_factor(
 
             reason = f"{backend} backend failed: {type(exc).__name__}: {exc}"
             factors, stats = _fallback(pristine, ops, ib, reason, policy)
+        finally:
+            if sampler is not None:
+                sampler.stop()
     f = QRFactorization(
         factors, kind, backend, stats=stats, ops=ops, ib=ib, recorder=recorder
     )

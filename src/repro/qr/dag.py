@@ -67,8 +67,8 @@ class QRTaskGraph:
         return self.performed_flops / self.useful_flops - 1.0
 
 
-def op_dependency_graph(ops) -> TaskGraph:
-    """Pure dataflow DAG of an operation list — no machine model, no timing.
+def op_dependency_graph(ops, durations=None) -> TaskGraph:
+    """Pure dataflow DAG of an operation list — no machine model by default.
 
     One task per op (same indices), edges from read-after-write and
     write-after-write hazards on each tile; write-after-read needs no edge
@@ -82,11 +82,20 @@ def op_dependency_graph(ops) -> TaskGraph:
     The returned :class:`~repro.dessim.graph.TaskGraph` supplies the CSR
     successor arrays (``succ_index``/``succ_task``) and in-degree counts
     (``n_deps``) the parallel dispatcher tracks at run time.
+
+    ``durations`` optionally assigns one duration per op (same order), so
+    the analysis layer can ask the graph for model-predicted chain lengths
+    (:meth:`~repro.dessim.graph.TaskGraph.critical_path`) without pricing
+    communication; omitted, every task costs zero seconds.
     """
+    if durations is not None and len(durations) != len(ops):
+        raise ValueError(
+            f"durations has {len(durations)} entries for {len(ops)} ops"
+        )
     b = TaskGraphBuilder()
     last_writer: dict[tuple[int, int], int] = {}
-    for op in ops:
-        tid = b.add_task(0.0, 0)
+    for i, op in enumerate(ops):
+        tid = b.add_task(0.0 if durations is None else float(durations[i]), 0)
         for key in op.reads():
             b.add_edge(last_writer[key], tid)
         for key in op.writes():

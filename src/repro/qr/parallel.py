@@ -450,6 +450,21 @@ def execute_ops_parallel(
         respawns_used = 0
         completed = 0
 
+        if rec is not None:
+            # Live dispatcher state for the metrics sampler (vocabulary in
+            # repro.obs.sampler).  Read from the sampler thread while this
+            # thread mutates; Recorder.read_gauges tolerates torn reads.
+            rec.register_gauge("parallel.ready_ops", lambda: len(ready))
+            rec.register_gauge(
+                "parallel.inflight_ops",
+                lambda: sum(len(s) for s in list(inflight_of.values())),
+            )
+            rec.register_gauge("parallel.workers_alive", lambda: len(alive))
+            rec.register_gauge("parallel.completed_ops", lambda: completed)
+            rec.register_gauge(
+                "parallel.redispatched", lambda: stats.ops_redispatched
+            )
+
         def handle_msg(w: int, msg) -> None:
             """Apply one worker report (attached / done / err)."""
             nonlocal completed
@@ -484,6 +499,7 @@ def execute_ops_parallel(
                         rec.from_monotonic(op_t0),
                         rec.from_monotonic(op_t1),
                         w,
+                        op=idx,
                     )
                 for e in range(succ_index[idx], succ_index[idx + 1]):
                     d = int(succ_task[e])
@@ -628,6 +644,13 @@ def execute_ops_parallel(
         factored = store.extract_matrix()
         ts = store.extract_ts()
     finally:
+        if rec is not None:
+            for g in (
+                "parallel.ready_ops", "parallel.inflight_ops",
+                "parallel.workers_alive", "parallel.completed_ops",
+                "parallel.redispatched",
+            ):
+                rec.unregister_gauge(g)
         for p in procs.values():
             if p.is_alive():
                 p.terminate()

@@ -22,6 +22,7 @@ import numpy as np
 import scipy.linalg
 
 from .. import kernels
+from ..obs import record as _obs_record
 from ..tiles.matrix import TileMatrix
 from ..util.errors import ShapeError
 from ..util.validation import require
@@ -142,7 +143,25 @@ def execute_ops(a: TileMatrix, ops: list[Op], ib: int) -> TileQRFactors:
     require(a.m >= a.n, f"tile QR requires m >= n, got {a.m} x {a.n}")
     factors = TileQRFactors(a=a, ib=ib)
     ts: dict[tuple[str, int, int], np.ndarray] = {}
-    for op in ops:
+    # Observability (only when a recorder is installed): tag each kernel
+    # span with its op index and expose progress as a gauge.
+    rec = _obs_record._RECORDER
+    progress = [0]
+    if rec is not None:
+        rec.register_gauge("serial.ops_done", lambda: progress[0])
+    try:
+        _run_ops(a, ops, ib, factors, ts, rec, progress)
+    finally:
+        if rec is not None:
+            rec.unregister_gauge("serial.ops_done")
+            _obs_record.set_current_op(None)
+    return factors
+
+
+def _run_ops(a, ops, ib, factors, ts, rec, progress) -> None:
+    for idx, op in enumerate(ops):
+        if rec is not None:
+            _obs_record.set_current_op(idx)
         if op.kind == "GEQRT":
             t = kernels.geqrt(a.tile(op.i, op.j), ib)
             ts[("G", op.i, op.j)] = t
@@ -173,4 +192,4 @@ def execute_ops(a: TileMatrix, ops: list[Op], ib: int) -> TileQRFactors:
             kernels.ttmqr(v2, ts[("E", op.k2, op.j)], a.tile(op.i, op.l), c2)
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown op kind {op.kind!r}")
-    return factors
+        progress[0] = idx + 1

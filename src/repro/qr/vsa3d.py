@@ -40,6 +40,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import kernels
+from ..obs import record as _obs_record
 from ..pulsar.packet import Packet
 from ..pulsar.vdp import VDP
 from ..pulsar.channel import Channel
@@ -50,6 +51,7 @@ from ..util.errors import VSAError
 from ..util.validation import check_positive_int, require
 from .collector import ResultStore
 from .mapping import VDPThreadMap
+from .ops import expand_plans
 
 __all__ = ["QRArray", "build_qr_vsa"]
 
@@ -129,6 +131,21 @@ def _emit(vdp: VDP, dest: _Dest, tile: np.ndarray, store: ResultStore) -> None:
         store.put_tile(dest.i, dest.j, tile)
 
 
+def _tag_op(vdp: VDP, kind: str, i: int, k2: int, l: int) -> None:
+    """Bind the next kernel span on this thread to its op-list index.
+
+    Only active while a recorder is installed; the builder stores the
+    ``(kind, i, k2, j, l) -> op index`` map in ``params["op_of"]`` so the
+    analysis layer (:mod:`repro.obs.analysis`) can join out-of-order
+    threaded spans back onto the dependency graph.
+    """
+    if _obs_record._RECORDER is None:
+        return
+    op_of = vdp.params.get("op_of")
+    if op_of is not None:
+        _obs_record.set_current_op(op_of.get((kind, i, k2, vdp.store["j"], l)))
+
+
 def _domain_body(vdp: VDP) -> None:
     """Red (``l == j``) and orange (``l > j``) domain VDP behaviour."""
     s = vdp.store
@@ -156,6 +173,7 @@ def _domain_body(vdp: VDP) -> None:
 
     if factor_col:
         if t_idx == 0:
+            _tag_op(vdp, "GEQRT", members[0], -1, -1)
             t = kernels.geqrt(tile, ib)
             store.put_t(("G", members[0], s["j"]), t)
             # Send a snapshot of the reflectors: the head tile's R triangle
@@ -165,6 +183,7 @@ def _domain_body(vdp: VDP) -> None:
                 vdp.write(_V_OUT, Packet.of(("G", v_snapshot, t, members[0])))
             s["head"] = tile
         else:
+            _tag_op(vdp, "TSQRT", members[0], members[t_idx], -1)
             t = kernels.tsqrt(s["head"][:k, :k], tile, ib)
             store.put_t(("E", members[t_idx], s["j"]), t)
             if s["v_forward"]:
@@ -175,11 +194,13 @@ def _domain_body(vdp: VDP) -> None:
         if t_idx == 0:
             if kind != "G":
                 raise VSAError(f"VDP {vdp.tuple}: expected GEQRT packet, got {kind}")
+            _tag_op(vdp, "ORMQR", members[0], -1, s["col"])
             kernels.ormqr(v, t, tile)
             s["head"] = tile
         else:
             if kind != "TS":
                 raise VSAError(f"VDP {vdp.tuple}: expected TSQRT packet, got {kind}")
+            _tag_op(vdp, "TSMQR", members[0], members[t_idx], s["col"])
             kernels.tsmqr(v, t, s["head"], tile)
             _emit(vdp, s["member_dests"][t_idx], tile, store)
 
@@ -206,6 +227,7 @@ def _binary_body(vdp: VDP) -> None:
     row_tile = vdp.read(2).data
 
     if factor_col:
+        _tag_op(vdp, "TTQRT", s["piv"], s["row"], -1)
         t = kernels.ttqrt(piv_tile[:k, :k], row_tile[:m2, :k], ib)
         store.put_t(("E", s["row"], s["j"]), t)
         if s["v_forward"]:
@@ -214,6 +236,7 @@ def _binary_body(vdp: VDP) -> None:
         kind, v, t, _row = vpkt.data
         if kind != "TT":
             raise VSAError(f"VDP {vdp.tuple}: expected TTQRT packet, got {kind}")
+        _tag_op(vdp, "TTMQR", s["piv"], s["row"], s["col"])
         kernels.ttmqr(v[:m2, :k], t, piv_tile, row_tile[:m2, :])
 
     _emit(vdp, s["piv_dest"], piv_tile, store)
@@ -256,7 +279,13 @@ def build_qr_vsa(
     nt = layout.nt
     nb = layout.nb
     store = ResultStore(layout)
-    vsa = VSA(params={"ib": ib, "store": store})
+    # (kind, i, k2, j, l) -> index in the canonical operation list, used by
+    # _tag_op to stamp kernel spans with op identity under a recorder.
+    op_of = {
+        (op.kind, op.i, op.k2, op.j, op.l): idx
+        for idx, op in enumerate(expand_plans(layout, plans))
+    }
+    vsa = VSA(params={"ib": ib, "store": store, "op_of": op_of})
     tmap = VDPThreadMap.from_plans(plans, total_workers)
     mapping: dict[tuple, int] = {}
     tile_bytes = nb * nb * 8 + 256

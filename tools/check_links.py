@@ -38,6 +38,8 @@ DEFAULT_FILES = (
     "CHANGES.md",
     "docs/architecture.md",
     "docs/observability.md",
+    "docs/performance.md",
+    "docs/robustness.md",
 )
 
 
