@@ -1,8 +1,10 @@
-"""Execution-backend wall-clock comparison: serial vs pulsar vs parallel.
+"""Execution-backend wall-clock comparison: serial vs batched vs pulsar vs parallel.
 
 The paper's thesis is that a lightweight runtime turns the tile-QR DAG into
 hardware utilisation; for the *real-numerics* backends that only holds if
-the executor escapes the GIL.  This benchmark times all three functional
+the executor escapes the GIL — or, for the single-threaded ``batched``
+backend, escapes per-op Python dispatch by fusing each wavefront of the DAG
+into stacked NumPy kernel calls.  This benchmark times the functional
 backends on one tall-skinny problem, verifies they produce bit-identical
 factors, and records the result in ``BENCH_backend.json`` so the perf
 trajectory of the real-numerics path is tracked across changes.
@@ -63,6 +65,14 @@ def run_backend_bench(
         "serial": {"seconds": serial_s},
     }
 
+    t0 = time.perf_counter()
+    bat = qr_factor(a, **kw, backend="batched")
+    batched_s = time.perf_counter() - t0
+    report["batched"] = {
+        "seconds": batched_s,
+        "speedup_vs_serial": serial_s / batched_s,
+    }
+
     if not skip_pulsar:
         t0 = time.perf_counter()
         pul = qr_factor(a, **kw, backend="pulsar", n_nodes=1, workers_per_node=procs)
@@ -90,7 +100,9 @@ def run_backend_bench(
         "speedup_vs_serial": serial_s / parallel_s,
     }
 
-    identical = bool(np.array_equal(ser.R, par.R))
+    identical = bool(
+        np.array_equal(ser.R, par.R) and np.array_equal(ser.R, bat.R)
+    )
     if not skip_pulsar:
         identical = identical and bool(np.array_equal(ser.R, pul.R))
     report["bit_identical"] = identical
@@ -124,6 +136,8 @@ def main(argv: list[str] | None = None) -> int:
     _write(report, args.out)
 
     print(f"serial    {report['serial']['seconds']:8.2f} s")
+    bat = report["batched"]
+    print(f"batched   {bat['seconds']:8.2f} s ({bat['speedup_vs_serial']:.2f}x)")
     if "pulsar" in report:
         print(f"pulsar    {report['pulsar']['seconds']:8.2f} s "
               f"({report['pulsar']['speedup_vs_serial']:.2f}x)")
@@ -136,13 +150,14 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def test_backend_smoke(tmp_path):
-    """Tiny-size smoke: all three backends agree and the JSON is written."""
+    """Tiny-size smoke: all backends agree and the JSON is written."""
     report = run_backend_bench(m=96, n=48, nb=16, ib=8, h=2, procs=2)
     out = tmp_path / "BENCH_backend.json"
     _write(report, out)
     assert out.exists()
     assert report["bit_identical"]
     assert report["parallel"]["tasks_per_s"] > 0
+    assert report["batched"]["seconds"] > 0
 
 
 if __name__ == "__main__":

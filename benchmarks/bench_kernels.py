@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 
 from repro.kernels import geqrt, kernel_flops, ormqr, tsmqr, tsqrt, ttmqr, ttqrt
+from repro.kernels.batched import geqrt_batched, tsmqr_batched, tsqrt_batched
 
 NB, IB = 128, 32
 
@@ -70,3 +71,75 @@ def test_kernel_flop_ratios():
     # A TT elimination moves roughly half the flops of a TS elimination,
     # which is why the binary tree is viable despite slower TT kernels.
     assert 0.3 < tt / ts < 0.7
+
+
+# -- batched (stacked) kernels vs a scalar loop ------------------------------
+#
+# The wavefront executor fuses B same-shape ops into one stacked call; these
+# pairs measure exactly the per-op Python/NumPy dispatch overhead that fusion
+# amortises.  Same total work in each pair — only the call structure differs.
+
+BATCH, NB_B, IB_B = 8, 64, 16
+
+
+def test_geqrt_scalar_loop(benchmark, tile_rng):
+    a0 = tile_rng.standard_normal((BATCH, NB_B, NB_B))
+    benchmark(lambda: [geqrt(a, IB_B) for a in a0.copy()])
+
+
+def test_geqrt_batched(benchmark, tile_rng):
+    a0 = tile_rng.standard_normal((BATCH, NB_B, NB_B))
+    t = benchmark(lambda: geqrt_batched(a0.copy(), IB_B))
+    assert t.shape == (BATCH, IB_B, NB_B)
+
+
+def test_tsqrt_scalar_loop(benchmark, tile_rng):
+    r0 = tile_rng.standard_normal((BATCH, NB_B, NB_B))
+    b0 = tile_rng.standard_normal((BATCH, NB_B, NB_B))
+
+    def run():
+        r, b = r0.copy(), b0.copy()
+        return [tsqrt(r[i], b[i], IB_B) for i in range(BATCH)]
+
+    benchmark(run)
+
+
+def test_tsqrt_batched(benchmark, tile_rng):
+    r0 = tile_rng.standard_normal((BATCH, NB_B, NB_B))
+    b0 = tile_rng.standard_normal((BATCH, NB_B, NB_B))
+    benchmark(lambda: tsqrt_batched(r0.copy(), b0.copy(), IB_B))
+
+
+def test_tsmqr_scalar_loop(benchmark, tile_rng):
+    r = tile_rng.standard_normal((BATCH, NB_B, NB_B))
+    b = tile_rng.standard_normal((BATCH, NB_B, NB_B))
+    t = np.stack([tsqrt(r[i], b[i], IB_B) for i in range(BATCH)])
+    c1 = tile_rng.standard_normal((BATCH, NB_B, NB_B))
+    c2 = tile_rng.standard_normal((BATCH, NB_B, NB_B))
+
+    def run():
+        d1, d2 = c1.copy(), c2.copy()
+        for i in range(BATCH):
+            tsmqr(b[i], t[i], d1[i], d2[i])
+
+    benchmark(run)
+
+
+def test_tsmqr_batched(benchmark, tile_rng):
+    r = tile_rng.standard_normal((BATCH, NB_B, NB_B))
+    b = tile_rng.standard_normal((BATCH, NB_B, NB_B))
+    t = np.stack([tsqrt(r[i], b[i], IB_B) for i in range(BATCH)])
+    c1 = tile_rng.standard_normal((BATCH, NB_B, NB_B))
+    c2 = tile_rng.standard_normal((BATCH, NB_B, NB_B))
+    benchmark(lambda: tsmqr_batched(b, t, c1.copy(), c2.copy()))
+
+
+def test_batched_matches_scalar_loop(tile_rng):
+    """Sanity (no timing): the two sides of the pairs compute the same bits."""
+    r0 = tile_rng.standard_normal((BATCH, NB_B, NB_B))
+    b0 = tile_rng.standard_normal((BATCH, NB_B, NB_B))
+    r1, b1 = r0.copy(), b0.copy()
+    t1 = np.stack([tsqrt(r1[i], b1[i], IB_B) for i in range(BATCH)])
+    t2 = tsqrt_batched(r0, b0, IB_B)
+    assert np.array_equal(r0, r1) and np.array_equal(b0, b1)
+    assert np.array_equal(t1, t2)

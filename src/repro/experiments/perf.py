@@ -1,9 +1,9 @@
-"""Performance analytics experiment: three backends, one matrix, three lenses.
+"""Performance analytics experiment: four backends, one matrix, three lenses.
 
 Not a paper artefact — an evaluation of this reproduction's performance
 analytics (:mod:`repro.perf`) on live runs.  The experiment factors one
-fixed matrix on the ``serial``, ``pulsar`` and ``parallel`` backends with
-tracing on, then prints for each:
+fixed matrix on the ``serial``, ``batched``, ``pulsar`` and ``parallel``
+backends with tracing on, then prints for each:
 
 * the realized critical path (which kernel kinds the measured
   longest dependency chain actually runs through, and for how long);
@@ -32,6 +32,7 @@ __all__ = ["run_perf"]
 #: backend name -> extra qr_factor arguments.
 _BACKENDS = {
     "serial": {},
+    "batched": dict(backend="batched"),
     "pulsar": dict(backend="pulsar", n_nodes=2, workers_per_node=2),
     "parallel": dict(backend="parallel", n_procs=2),
 }
@@ -46,7 +47,7 @@ def _problem(cfg: ExperimentConfig) -> tuple[np.ndarray, int, int, int]:
 
 
 def run_perf(cfg: ExperimentConfig) -> list[ExperimentResult]:
-    """Trace all three backends on one matrix and run the three analyses."""
+    """Trace every backend on one matrix and run the three analyses."""
     a, nb, ib, h = _problem(cfg)
     kw = dict(nb=nb, ib=ib, tree="hier", h=h)
     analyses = {}

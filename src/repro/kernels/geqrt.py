@@ -45,7 +45,9 @@ def geqrt(a: np.ndarray, ib: int) -> np.ndarray:
     t = np.zeros((ib, k))
     for k0 in range(0, k, ib):
         kb = min(ib, k - k0)
-        t_blk = np.zeros((kb, kb))
+        # The block's T builds directly inside its (already zeroed) slot of
+        # ``t`` — no per-block scratch triangle to allocate and copy back.
+        t_blk = t[:kb, k0 : k0 + kb]
         v_panel = a[k0:m, k0 : k0 + kb]  # view: panel being factored
         for jj in range(kb):
             j = k0 + jj
@@ -60,7 +62,6 @@ def geqrt(a: np.ndarray, ib: int) -> np.ndarray:
                 vfull[1:] = v
                 c -= np.outer(tau * vfull, vfull @ c)
             larft_column(t_blk, v_panel, jj, tau)
-        t[:kb, k0 : k0 + kb] = t_blk
         if k0 + kb < n:
             # Apply the block reflector (transposed) to the trailing columns
             # of this tile: C := (I - V T^T V^T) C.

@@ -73,8 +73,9 @@ def tsqrt(r: np.ndarray, a2: np.ndarray, ib: int) -> np.ndarray:
     x = np.empty(m2 + 1)  # reflector scratch, reused across all columns
     for k0 in range(0, k, ib):
         kb = min(ib, k - k0)
-        t_blk = np.zeros((kb, kb))
-        taus = np.zeros(kb)
+        # Build the block's T directly inside its (already zeroed) slot of
+        # ``t``; the recurrence only reads the triangle written so far.
+        t_blk = t[:kb, k0 : k0 + kb]
         for jj in range(kb):
             j = k0 + jj
             x[0] = r[j, j]
@@ -82,7 +83,6 @@ def tsqrt(r: np.ndarray, a2: np.ndarray, ib: int) -> np.ndarray:
             beta, v2, tau = larfg(x)
             r[j, j] = beta
             a2[:, j] = v2
-            taus[jj] = tau
             if tau != 0.0 and jj + 1 < kb:
                 # Update the remaining columns of the inner block:
                 # w = r[j, l] + v2^T a2[:, l];  r[j, l] -= tau*w;
@@ -97,7 +97,6 @@ def tsqrt(r: np.ndarray, a2: np.ndarray, ib: int) -> np.ndarray:
                 wvec = a2[:, k0 : k0 + jj].T @ v2
                 t_blk[:jj, jj] = -tau * (t_blk[:jj, :jj] @ wvec)
             t_blk[jj, jj] = tau
-        t[:kb, k0 : k0 + kb] = t_blk
         if k0 + kb < k:
             # Apply the block reflector (transposed) to the trailing columns
             # of [r; a2]:  with Vtilde = [E_blk; V2]:
@@ -138,10 +137,7 @@ def ttqrt(r1: np.ndarray, r2: np.ndarray, ib: int) -> np.ndarray:
     for k0 in range(0, k, ib):
         kb = min(ib, k - k0)
         hi = min(k0 + kb, m2)  # valid V2 rows within this block
-        t_blk = np.zeros((kb, kb))
-        # Clean, zero-padded copy of the block's V2 columns; the in-tile
-        # storage below each column's diagonal belongs to other reflectors.
-        vblk = np.zeros((hi, kb))
+        t_blk = t[:kb, k0 : k0 + kb]  # built in place inside ``t``
         for jj in range(kb):
             j = k0 + jj
             d = min(j + 1, m2)  # explicit reflector length in r2
@@ -151,19 +147,22 @@ def ttqrt(r1: np.ndarray, r2: np.ndarray, ib: int) -> np.ndarray:
             beta, v2, tau = larfg(x)
             r1[j, j] = beta
             r2[:d, j] = v2
-            vblk[:d, jj] = v2
             if tau != 0.0 and jj + 1 < kb:
                 cols = slice(j + 1, k0 + kb)
                 w = r1[j, cols] + v2 @ r2[:d, cols]
                 r1[j, cols] -= tau * w
                 r2[:d, cols] -= np.outer(tau * v2, w)
             if jj > 0:
-                wvec = vblk[:d, :jj].T @ v2
+                # The block's earlier V2 columns live in r2's upper trapezoid;
+                # the cached mask (same idiom as ttmqr) zeroes the strictly
+                # lower storage, which belongs to other reflectors.
+                vcols = np.where(_triu_mask(d, jj, -k0), r2[:d, k0 : k0 + jj], 0.0)
+                wvec = vcols.T @ v2
                 t_blk[:jj, jj] = -tau * (t_blk[:jj, :jj] @ wvec)
             t_blk[jj, jj] = tau
-        t[:kb, k0 : k0 + kb] = t_blk
         if k0 + kb < k:
             cols = slice(k0 + kb, k)
+            vblk = np.where(_triu_mask(hi, kb, -k0), r2[:hi, k0 : k0 + kb], 0.0)
             c1 = r1[k0 : k0 + kb, cols]
             c2 = r2[:hi, cols]
             w = t_blk.T @ (c1 + vblk.T @ c2)

@@ -70,6 +70,8 @@ __all__ = [
     "K_QUEUE_MAX_DEPTH",
     "K_PROXY_MESSAGES",
     "K_DISPATCH_BATCHES",
+    "K_BATCH_CALLS",
+    "K_BATCH_OPS",
     "K_FAULT_DROP",
     "K_FAULT_DUPLICATE",
     "K_FAULT_DELAY",
@@ -92,6 +94,8 @@ K_BYTES_MOVED = "bytes.moved"  # payload bytes through channels
 K_QUEUE_MAX_DEPTH = "queue.max_depth"  # deepest channel FIFO observed
 K_PROXY_MESSAGES = "proxy.messages"  # inter-node messages routed by proxies
 K_DISPATCH_BATCHES = "dispatch.batches"  # batches sent to worker processes
+K_BATCH_CALLS = "batch.calls"  # stacked kernel calls (wavefront batching)
+K_BATCH_OPS = "batch.ops"  # ops executed inside stacked calls
 
 # Fault-injection and recovery events (repro.faults; docs/robustness.md).
 K_FAULT_DROP = "fault.drop"  # fabric sends lost by the FaultPlan

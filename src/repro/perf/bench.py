@@ -48,7 +48,7 @@ SMOKE_CONFIG = dict(m=480, n=96, nb=16, ib=8, tree="hier", h=2, procs=2, repeats
 FULL_CONFIG = dict(m=4096, n=512, nb=64, ib=32, tree="hier", h=4, procs=4, repeats=3)
 
 #: Wall-time keys subject to the noise band.
-TIME_KEYS = ("serial_s", "parallel_s")
+TIME_KEYS = ("serial_s", "batched_s", "parallel_s")
 #: Counter keys that must reproduce exactly.
 COUNTER_KEYS = ("ops.total", "flops.total")
 
@@ -106,6 +106,7 @@ def run_qr_benchmark(
         return min(times)
 
     serial_s = best(lambda: qr_factor(a, **kw))
+    batched_s = best(lambda: qr_factor(a, **kw, backend="batched"))
     f = [None]
 
     def run_parallel():
@@ -120,6 +121,7 @@ def run_qr_benchmark(
         "config": dict(m=m, n=n, nb=nb, ib=ib, tree=tree, h=h, procs=procs),
         "measured": {
             "serial_s": round(serial_s, 6),
+            "batched_s": round(batched_s, 6),
             "parallel_s": round(parallel_s, 6),
             "parallel_mode": f[0].stats.mode if f[0].stats else "parallel",
         },
@@ -128,6 +130,9 @@ def run_qr_benchmark(
         "counters": {k: int(round(counters[k])) for k in COUNTER_KEYS},
         "derived": {
             "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
+            "batched_speedup": (
+                round(serial_s / batched_s, 3) if batched_s > 0 else None
+            ),
             "serial_gflops": round(counters["flops.total"] / serial_s / 1e9, 3),
         },
     }
@@ -177,8 +182,22 @@ def baseline_for(entries: list[dict], entry: dict, last_k: int = 5) -> dict | No
 
 
 def check_regression(entry: dict, baseline: dict, *, tolerance: float = 0.5) -> list[str]:
-    """Problems with ``entry`` vs ``baseline``; empty means the gate passes."""
+    """Problems with ``entry`` vs ``baseline``; empty means the gate passes.
+
+    Besides the baseline comparisons, one *absolute* floor is enforced:
+    the batched backend must not be slower than serial on the pinned
+    config — wavefront batching exists to amortise dispatch overhead, so
+    ``batched_s > serial_s`` means the optimisation has regressed into a
+    pessimisation regardless of history.
+    """
     problems = []
+    serial = entry["measured"].get("serial_s")
+    batched = entry["measured"].get("batched_s")
+    if serial is not None and batched is not None and batched > serial:
+        problems.append(
+            f"batched backend slower than serial: {batched:.4f}s vs "
+            f"{serial:.4f}s (speedup {serial / batched:.2f}x < 1.0x)"
+        )
     for key in TIME_KEYS:
         new = entry["measured"].get(key)
         base = baseline["times"].get(key)

@@ -14,7 +14,13 @@ many the machine has.  This module executes the *same* operation list
   IPC;
 * the ready pool supports the PRT scheduling policies: ``lazy`` fires the
   oldest ready op in program order, ``aggressive`` the most recently
-  enabled one.
+  enabled one;
+* with ``batch="wavefront"`` the dispatcher goes level-synchronous: ops
+  are pre-grouped by :func:`repro.qr.wavefront.compute_wavefronts` into
+  same-kind, same-shape, tile-disjoint slices (split across workers), a
+  slice is dispatched once *all* its members' dependencies are met, and
+  the worker runs it as one stacked :mod:`repro.kernels.batched` call —
+  the 3D-VSA wavefront execution style on real processes.
 
 Because the dependency graph totally orders every tile's mutations, any
 legal schedule — whichever workers run whichever ops in whatever
@@ -67,11 +73,16 @@ from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 from multiprocessing.connection import Connection, wait as conn_wait
 
+import numpy as np
+
 from .. import kernels
 from ..faults.watchdog import Watchdog
+from ..kernels import batched as _bk
 from ..obs import record as _obs_record
 from ..obs.adapters import KERNEL_CATEGORY
 from ..obs.record import (
+    K_BATCH_CALLS,
+    K_BATCH_OPS,
     K_DISPATCH_BATCHES,
     K_FALLBACK_SERIAL,
     K_FAULT_CRASH,
@@ -81,11 +92,12 @@ from ..obs.record import (
 )
 from ..tiles.layout import TileLayout
 from ..tiles.matrix import TileMatrix
-from ..util.errors import ParallelExecutionError
+from ..util.errors import ConfigurationError, ParallelExecutionError
 from ..util.validation import check_nonnegative_int, check_positive_int, require
 from .dag import op_dependency_graph
 from .ops import Op
 from .reference import FactorRecord, TileQRFactors, execute_ops
+from .wavefront import _gather, _operand_views, compute_wavefronts
 
 __all__ = [
     "ParallelRunStats",
@@ -120,7 +132,7 @@ class ParallelRunStats:
     n_ops: int = 0
     n_procs: int = 1
     policy: str = "lazy"
-    batch: int = 1
+    batch: int | str = 1  # ops per message, or "wavefront"
     elapsed_s: float = 0.0
     spawn_s: float = 0.0
     dispatch_s: float = 0.0  # parent time spent dispatching (not waiting)
@@ -188,6 +200,67 @@ def _execute_op(store, op: Op, ib: int) -> None:
         raise ValueError(f"unknown op kind {op.kind!r}")
 
 
+def _execute_group(store, ops: list[Op], idxs: list[int], ib: int, flags) -> None:
+    """Run one wavefront slice on shared tiles as a single stacked call.
+
+    ``idxs`` are same-kind, same-shape ops of one wavefront (pairwise
+    tile-disjoint), so gathering their operands into ``(B, ...)`` stacks
+    and calling :mod:`repro.kernels.batched` once is bit-identical to
+    running them one at a time.  The PR 3 idempotency protocol is
+    preserved per op: each op's completion flag is set right after *its*
+    slice of the results is scattered back, and a re-dispatched slice
+    whose flags are partially set falls back to per-op scalar execution
+    of the unflagged ops — tile-disjointness makes that safe, and the
+    scalar kernels are bit-identical to the batched ones.
+    """
+    pend = [i for i in idxs if not flags[i]]
+    if len(pend) < 2 or len(pend) != len(idxs):
+        for i in pend:
+            _execute_op(store, ops[i], ib)
+            flags[i] = 1
+        return
+    kind = ops[idxs[0]].kind
+    views = [_operand_views(store, ops[i]) for i in idxs]
+    reads = [v[0] for v in views]
+    writes = [v[1] for v in views]
+    if kind == "GEQRT":
+        stack = _gather([w[0] for w in writes])
+        t = _bk.geqrt_batched(stack, ib)
+        for b, i in enumerate(idxs):
+            writes[b][0][...] = stack[b]
+            store.t_factor(("G", ops[i].i, ops[i].j))[...] = t[b]
+            flags[i] = 1
+    elif kind == "ORMQR":
+        v = _gather([r[0] for r in reads])
+        tstack = np.stack([store.t_factor(("G", ops[i].i, ops[i].j)) for i in idxs])
+        c = _gather([w[0] for w in writes])
+        _bk.ormqr_batched(v, tstack, c)
+        for b, i in enumerate(idxs):
+            writes[b][0][...] = c[b]
+            flags[i] = 1
+    elif kind in ("TSQRT", "TTQRT"):
+        r1 = _gather([w[0] for w in writes])
+        r2 = _gather([w[1] for w in writes])
+        fn = _bk.tsqrt_batched if kind == "TSQRT" else _bk.ttqrt_batched
+        t = fn(r1, r2, ib)
+        for b, i in enumerate(idxs):
+            writes[b][0][...] = r1[b]
+            writes[b][1][...] = r2[b]
+            store.t_factor(("E", ops[i].k2, ops[i].j))[...] = t[b]
+            flags[i] = 1
+    else:  # TSMQR / TTMQR
+        v = _gather([r[0] for r in reads])
+        tstack = np.stack([store.t_factor(("E", ops[i].k2, ops[i].j)) for i in idxs])
+        c1 = _gather([w[0] for w in writes])
+        c2 = _gather([w[1] for w in writes])
+        fn = _bk.tsmqr_batched if kind == "TSMQR" else _bk.ttmqr_batched
+        fn(v, tstack, c1, c2)
+        for b, i in enumerate(idxs):
+            writes[b][0][...] = c1[b]
+            writes[b][1][...] = c2[b]
+            flags[i] = 1
+
+
 def _worker_main(
     rank: int,
     generation: int,
@@ -230,6 +303,35 @@ def _worker_main(
             batch = conn.recv()
             if batch is None:
                 break
+            if isinstance(batch, tuple) and batch[0] == "stack":
+                # Wavefront slice: one stacked kernel call over the whole
+                # group.  The report slices the call window evenly across
+                # the ops so the parent's per-op spans stay exact in sum.
+                idxs = batch[1]
+                # A stacked slice advances ops_done by its whole width, so
+                # honour a crash scheduled anywhere inside it (injected
+                # crashes land on slice boundaries in this mode).
+                if crashy and any(
+                    fault_plan.worker_crash(rank, generation, ops_done + b)
+                    for b in range(len(idxs))
+                ):
+                    os._exit(_CRASH_EXIT_CODE)
+                t0 = time.perf_counter()
+                try:
+                    _execute_group(store, ops, idxs, ib, flags)
+                except BaseException:
+                    conn.send(("err", rank, idxs[0], traceback.format_exc()))
+                    return
+                t1 = time.perf_counter()
+                ops_done += len(idxs)
+                width = (t1 - t0) / len(idxs)
+                conn.send((
+                    "done",
+                    rank,
+                    [(i, t0 + b * width, t0 + (b + 1) * width)
+                     for b, i in enumerate(idxs)],
+                ))
+                continue
             done: list[tuple[int, float, float]] = []
             for idx in batch:
                 if crashy and fault_plan.worker_crash(rank, generation, ops_done):
@@ -324,7 +426,7 @@ def execute_ops_parallel(
     *,
     n_procs: int | None = None,
     policy: str = "lazy",
-    batch: int | None = None,
+    batch: int | str | None = None,
     timeout_s: float = 120.0,
     fault_plan=None,
     max_redispatch: int = 2,
@@ -349,7 +451,13 @@ def execute_ops_parallel(
         ``"aggressive"`` (most recently enabled), mirroring the PRT.
     batch:
         Operations dispatched per worker message (default: auto-sized from
-        the op count).
+        the op count), or the string ``"wavefront"`` for level-synchronous
+        batched dispatch: the op list is partitioned with
+        :func:`repro.qr.wavefront.compute_wavefronts`, same-kind/same-shape
+        ops of a wavefront are grouped (and split across workers), and each
+        worker runs its slice as a *single stacked call* into
+        :mod:`repro.kernels.batched` — fewer, larger messages and far less
+        per-op Python overhead, still bit-identical factors.
     timeout_s:
         No-progress watchdog: raise
         :class:`~repro.util.errors.WatchdogTimeout` instead of hanging if
@@ -372,6 +480,15 @@ def execute_ops_parallel(
         n_procs = default_n_procs()
     check_positive_int(n_procs, "n_procs")
     n_procs = max(1, min(n_procs, len(ops)))
+    wavefront = batch == "wavefront"
+    if batch is None:
+        batch = _auto_batch(len(ops), n_procs)
+    if not wavefront:
+        if isinstance(batch, str):
+            raise ConfigurationError(
+                f"batch must be a positive int or 'wavefront', got {batch!r}"
+            )
+        check_positive_int(batch, "batch")
     if n_procs == 1:
         return _fallback(a.copy(), ops, ib, "n_procs=1", policy)
 
@@ -387,13 +504,34 @@ def execute_ops_parallel(
     flags_shm = shared_memory.SharedMemory(create=True, size=max(len(ops), 1))
     flags_shm.buf[: len(flags_shm.buf)] = bytes(len(flags_shm.buf))
 
-    if batch is None:
-        batch = _auto_batch(len(ops), n_procs)
-    check_positive_int(batch, "batch")
-
     graph = op_dependency_graph(ops)
     deps_left = graph.n_deps.copy()
     succ_index, succ_task = graph.succ_index, graph.succ_task
+
+    # Wavefront mode: pre-partition the op list into same-kind, same-shape
+    # groups (one stacked kernel call each), split so a single wide
+    # wavefront still spreads across all workers.  A group enters the ready
+    # pool only when *every* member's dependencies are met — that is the
+    # level-synchronous trade the batching makes.
+    groups: list[list[int]] = []
+    group_of: list[int] = []
+    group_pending: list[int] = []
+    if wavefront:
+        group_of = [0] * len(ops)
+        for wf in compute_wavefronts(ops, graph):
+            by_key: dict[tuple, list[int]] = {}
+            for idx in wf:
+                r, w = _operand_views(a, ops[idx])
+                key = (ops[idx].kind,) + tuple(v.shape for v in r + w)
+                by_key.setdefault(key, []).append(idx)
+            for members in by_key.values():
+                chunk = max(1, -(-len(members) // n_procs))
+                for s in range(0, len(members), chunk):
+                    gid = len(groups)
+                    groups.append(members[s : s + chunk])
+                    for idx in groups[gid]:
+                        group_of[idx] = gid
+        group_pending = [len(g) for g in groups]
 
     stats = ParallelRunStats(
         n_ops=len(ops), n_procs=n_procs, policy=policy, batch=batch,
@@ -440,9 +578,22 @@ def execute_ops_parallel(
             )
 
         ready = _ReadyPool(policy)
+
+        def op_ready(idx: int) -> None:
+            """An op's deps are met: enqueue it (or its completed group)."""
+            if wavefront:
+                g = group_of[idx]
+                group_pending[g] -= 1
+                if group_pending[g] == 0:
+                    # Order groups by their oldest member so the lazy
+                    # policy keeps meaning "program order".
+                    ready.push((groups[g][0], g))
+            else:
+                ready.push(idx)
+
         for idx in range(len(ops)):
             if deps_left[idx] == 0:
-                ready.push(idx)
+                op_ready(idx)
         alive = set(range(n_procs))
         idle = list(range(n_procs - 1, -1, -1))  # pop() yields rank 0 first
         inflight_of: dict[int, set[int]] = {w: set() for w in range(n_procs)}
@@ -505,7 +656,12 @@ def execute_ops_parallel(
                     d = int(succ_task[e])
                     deps_left[d] -= 1
                     if deps_left[d] == 0:
-                        ready.push(d)
+                        op_ready(d)
+            if wavefront and rec is not None and done:
+                # One report == one stacked call (B == 1 for re-dispatched
+                # singleton slices), mirroring the serial batched executor.
+                rec.count(K_BATCH_CALLS)
+                rec.count(K_BATCH_OPS, len(done))
             idle.append(w)
 
         def handle_death(w: int, *, proc=None, via_conn=None) -> None:
@@ -547,7 +703,14 @@ def execute_ops_parallel(
                         f"{ops[idx].describe()} was already re-dispatched "
                         f"{max_redispatch} time(s) — retries exhausted"
                     )
-                ready.push(idx)
+                if wavefront:
+                    # Requeue as a singleton slice: the worker skips any
+                    # member whose completion flag is already set, so a
+                    # partially-applied group never re-runs finished ops.
+                    groups.append([idx])
+                    ready.push((idx, len(groups) - 1))
+                else:
+                    ready.push(idx)
             if lost:
                 stats.ops_redispatched += len(lost)
                 if rec is not None:
@@ -573,14 +736,24 @@ def execute_ops_parallel(
                 w = idle.pop()
                 if w not in alive:
                     continue  # stale idle entry from a replaced worker
-                take = min(batch, max(1, len(ready) // (len(idle) + 1)))
-                chunk = [ready.pop() for _ in range(min(take, len(ready)))]
-                inflight_of[w].update(chunk)
-                try:
-                    conns[w].send(chunk)
-                except (BrokenPipeError, OSError):
-                    handle_death(w, via_conn=conns[w])
-                    continue
+                if wavefront:
+                    _, gid = ready.pop()
+                    chunk = groups[gid]
+                    inflight_of[w].update(chunk)
+                    try:
+                        conns[w].send(("stack", chunk))
+                    except (BrokenPipeError, OSError):
+                        handle_death(w, via_conn=conns[w])
+                        continue
+                else:
+                    take = min(batch, max(1, len(ready) // (len(idle) + 1)))
+                    chunk = [ready.pop() for _ in range(min(take, len(ready)))]
+                    inflight_of[w].update(chunk)
+                    try:
+                        conns[w].send(chunk)
+                    except (BrokenPipeError, OSError):
+                        handle_death(w, via_conn=conns[w])
+                        continue
                 if rec is not None:
                     rec.count(K_DISPATCH_BATCHES)
 

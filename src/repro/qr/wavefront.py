@@ -1,0 +1,367 @@
+"""Wavefront partition and batched serial executor for tile QR.
+
+The dependency DAG of a tree QR is shallow and wide: at every level of
+the longest-path schedule, dozens of independent ops of the *same kind
+and shape* are ready (one TSQRT per domain; one TSMQR per domain per
+trailing column).  The serial reference pays Python/NumPy dispatch
+overhead per op and per inner block, which dominates wall time at the
+small tile sizes the paper targets.  This module executes the DAG
+level-synchronously instead:
+
+1. :func:`compute_wavefronts` partitions the op list into *wavefronts*
+   — antichains of the dependency graph whose ops touch pairwise
+   disjoint tiles — using longest-path levels and a greedy first-fit
+   split of each level (the split only triggers on write-after-read
+   pairs, which share a level because the DAG has no WAR edges).
+2. :func:`execute_ops_batched` runs each wavefront by *gathering* the
+   operands of same-signature ops into contiguous ``(B, m, n)`` stacks,
+   making one call into :mod:`repro.kernels.batched` per group, and
+   *scattering* the results back into the :class:`~repro.tiles.TileMatrix`.
+
+Because every DAG edge is respected (wavefronts concatenate to a legal
+schedule) and the batched kernels are bit-identical to the scalar ones,
+``backend="batched"`` produces factors bit-identical to ``serial`` —
+``tests/test_wavefront.py`` asserts both properties.
+
+Observability: each stacked call is recorded as ``B`` per-op kernel
+spans slicing the call window evenly, so lane-busy sums, gap reports
+(``repro.perf.gap``) and critical-path attribution keep working with no
+unmeasured time; ``batch.calls`` / ``batch.ops`` counters summarise the
+achieved batching rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import kernels as _K
+from ..kernels import batched as _bk
+from ..kernels.flops import kernel_flops
+from ..obs import record as _obs_record
+from ..obs.adapters import KERNEL_CATEGORY as _KERNEL_CATEGORY
+from ..tiles.matrix import TileMatrix
+from ..util.validation import require
+from .dag import op_dependency_graph
+from .ops import Op
+from .reference import FactorRecord, TileQRFactors
+
+__all__ = ["compute_wavefronts", "op_levels", "execute_ops_batched", "wavefront_stats"]
+
+
+def op_levels(ops: list[Op], graph=None) -> np.ndarray:
+    """Longest-path level of every op in the dependency DAG.
+
+    Level 0 ops have no predecessors; every edge strictly increases the
+    level, so the ops of one level form an antichain and any order that
+    lists whole levels in sequence is a legal schedule.
+    """
+    g = op_dependency_graph(ops) if graph is None else graph
+    n = g.n_tasks
+    level = np.zeros(n, dtype=np.int64)
+    indeg = g.n_deps.copy()
+    stack = [t for t in range(n) if indeg[t] == 0]
+    seen = 0
+    while stack:
+        t = stack.pop()
+        seen += 1
+        lo, hi = g.succ_index[t], g.succ_index[t + 1]
+        for e in range(lo, hi):
+            d = g.succ_task[e]
+            if level[t] + 1 > level[d]:
+                level[d] = level[t] + 1
+            indeg[d] -= 1
+            if indeg[d] == 0:
+                stack.append(d)
+    require(seen == n, "dependency graph has a cycle")
+    return level
+
+
+def compute_wavefronts(ops: list[Op], graph=None) -> list[list[int]]:
+    """Partition ``ops`` into wavefronts of independent, tile-disjoint ops.
+
+    Returns a list of wavefronts, each a list of op indices.  Guarantees
+    (property-tested in ``tests/test_wavefront.py``):
+
+    * every op index appears in exactly one wavefront;
+    * no wavefront contains two ops touching (reading or writing) the
+      same tile;
+    * concatenating the wavefronts respects every edge of
+      :func:`~repro.qr.dag.op_dependency_graph` — the result is a legal
+      schedule.
+
+    Ops of one DAG level are already mutually independent; the only
+    same-level tile sharing is a V-tile read racing a later write into a
+    disjoint storage region of the same tile (the WAR pairs the DAG
+    deliberately has no edges for) or two updates reading one V tile.
+    A greedy first-fit pass splits those into consecutive wavefronts,
+    preserving op order within each level.
+    """
+    level = op_levels(ops, graph)
+    n_levels = int(level.max()) + 1 if len(ops) else 0
+    by_level: list[list[int]] = [[] for _ in range(n_levels)]
+    for idx in range(len(ops)):
+        by_level[level[idx]].append(idx)
+
+    wavefronts: list[list[int]] = []
+    for members in by_level:
+        # First-fit: place each op in the earliest wavefront of this level
+        # whose touched-tile set it does not intersect.
+        slots: list[tuple[list[int], set]] = []
+        for idx in members:
+            op = ops[idx]
+            touched = set(op.reads()) | set(op.writes())
+            for wf, tiles in slots:
+                if not (tiles & touched):
+                    wf.append(idx)
+                    tiles |= touched
+                    break
+            else:
+                slots.append(([idx], touched))
+        wavefronts.extend(wf for wf, _ in slots)
+    return wavefronts
+
+
+def wavefront_stats(ops: list[Op], wavefronts: list[list[int]] | None = None) -> dict:
+    """Summary statistics of a wavefront partition (for docs and reports).
+
+    Returns wavefront count, mean/max width, and the fraction of ops that
+    ride in a stacked call of size >= 2 under same-signature grouping —
+    the number that predicts how much Python dispatch overhead batching
+    can amortise for a given tree shape.
+    """
+    if wavefronts is None:
+        wavefronts = compute_wavefronts(ops)
+    widths = [len(wf) for wf in wavefronts]
+    batched_ops = 0
+    for wf in wavefronts:
+        groups: dict = {}
+        for idx in wf:
+            groups.setdefault(_signature(ops[idx]), []).append(idx)
+        batched_ops += sum(len(g) for g in groups.values() if len(g) >= 2)
+    n = len(ops)
+    return {
+        "n_ops": n,
+        "n_wavefronts": len(wavefronts),
+        "mean_width": (n / len(wavefronts)) if wavefronts else 0.0,
+        "max_width": max(widths, default=0),
+        "batched_fraction": (batched_ops / n) if n else 0.0,
+    }
+
+
+def _signature(op: Op) -> tuple:
+    """Approximate batching key for :func:`wavefront_stats`.
+
+    ``m2``/``k``/``q`` pin the operand shapes for every non-ragged tile;
+    the executor itself groups by the *exact* gathered view shapes, which
+    additionally separates ragged boundary tiles.
+    """
+    return (op.kind, op.m2, op.k, op.q)
+
+
+# -- batched serial executor -------------------------------------------------
+
+
+def execute_ops_batched(a: TileMatrix, ops: list[Op], ib: int) -> TileQRFactors:
+    """Run an operation list on ``a`` (in place) with wavefront batching.
+
+    Semantically identical to :func:`repro.qr.reference.execute_ops` —
+    factors come out bit-identical — but executes the DAG level by level,
+    fusing same-signature ops of a wavefront into single stacked kernel
+    calls.  Factor records are appended in program order, so
+    :class:`~repro.qr.reference.TileQRFactors` application order is
+    unchanged.
+    """
+    require(a.m >= a.n, f"tile QR requires m >= n, got {a.m} x {a.n}")
+    factors = TileQRFactors(a=a, ib=ib)
+    ts: dict[tuple[str, int, int], np.ndarray] = {}
+    # Factor t-arrays land here keyed by op index; records are emitted in
+    # program order at the end.
+    t_of: dict[int, np.ndarray] = {}
+    wavefronts = compute_wavefronts(ops)
+    rec = _obs_record._RECORDER
+    progress = [0]
+    if rec is not None:
+        rec.name_lane(0, "batched")
+        rec.register_gauge("batched.ops_done", lambda: progress[0])
+    try:
+        for wf in wavefronts:
+            # Group by kind + exact operand shapes: every op in a group
+            # gathers into the same stack geometry (ragged boundary tiles
+            # fall into their own groups).
+            groups: dict[tuple, list[int]] = {}
+            views: dict[int, tuple] = {}
+            for idx in wf:
+                r, w = _operand_views(a, ops[idx])
+                views[idx] = (r, w)
+                key = (ops[idx].kind,) + tuple(v.shape for v in r + w)
+                groups.setdefault(key, []).append(idx)
+            for members in groups.values():
+                if len(members) == 1:
+                    # Singleton groups skip the gather/scatter machinery and
+                    # run the (instrumented) scalar kernel on the views
+                    # directly — trivially bit-identical to serial.
+                    _run_single(a, ops[members[0]], members[0], ib, ts, t_of, rec)
+                else:
+                    _run_group(a, ops, members, ib, ts, t_of, rec, views)
+                progress[0] += len(members)
+    finally:
+        if rec is not None:
+            rec.unregister_gauge("batched.ops_done")
+            _obs_record.set_current_op(None)
+    for idx, op in enumerate(ops):
+        if op.is_factor:
+            factors.records.append(
+                FactorRecord(op.kind, op.i, op.k2 if op.kind != "GEQRT" else -1,
+                             op.j, t_of[idx], op.m2, op.k)
+            )
+    return factors
+
+
+def _gather(views: list[np.ndarray]) -> np.ndarray:
+    """Stack equal-shape tile views into one contiguous ``(B, m, n)`` array."""
+    out = np.empty((len(views),) + views[0].shape)
+    for b, v in enumerate(views):
+        out[b] = v
+    return out
+
+
+def _scatter(views: list[np.ndarray], stack: np.ndarray) -> None:
+    """Write stacked results back into the tile views (full-region copy).
+
+    Writing the whole sub-block is safe even where a kernel only touches
+    part of it (e.g. TTQRT's upper trapezoid): the untouched bytes come
+    back unchanged, so co-scheduled readers of the other storage region
+    observe exactly the serial executor's values.
+    """
+    for b, v in enumerate(views):
+        v[...] = stack[b]
+
+
+def _operand_views(a: TileMatrix, op: Op):
+    """Per-op operand views: (inputs_read, inouts_written) tile sub-blocks."""
+    if op.kind == "GEQRT":
+        return (), (a.tile(op.i, op.j),)
+    if op.kind == "ORMQR":
+        return (a.tile(op.i, op.j),), (a.tile(op.i, op.l),)
+    if op.kind == "TSQRT":
+        return (), (a.tile(op.i, op.j)[: op.k, : op.k], a.tile(op.k2, op.j))
+    if op.kind == "TSMQR":
+        return (a.tile(op.k2, op.j),), (a.tile(op.i, op.l), a.tile(op.k2, op.l))
+    if op.kind == "TTQRT":
+        return (), (
+            a.tile(op.i, op.j)[: op.k, : op.k],
+            a.tile(op.k2, op.j)[: op.m2, : op.k],
+        )
+    if op.kind == "TTMQR":
+        return (a.tile(op.k2, op.j)[: op.m2, : op.k],), (
+            a.tile(op.i, op.l),
+            a.tile(op.k2, op.l)[: op.m2, :],
+        )
+    raise ValueError(f"unknown op kind {op.kind!r}")  # pragma: no cover
+
+
+def _run_single(a, op: Op, idx: int, ib, ts, t_of, rec) -> None:
+    """Run one op through the scalar kernels (same code path as serial)."""
+    if rec is not None:
+        _obs_record.set_current_op(idx)
+    if op.kind == "GEQRT":
+        t = _K.geqrt(a.tile(op.i, op.j), ib)
+        ts[("G", op.i, op.j)] = t
+        t_of[idx] = t
+    elif op.kind == "ORMQR":
+        _K.ormqr(a.tile(op.i, op.j), ts[("G", op.i, op.j)], a.tile(op.i, op.l))
+    elif op.kind == "TSQRT":
+        r = a.tile(op.i, op.j)[: op.k, : op.k]
+        t = _K.tsqrt(r, a.tile(op.k2, op.j), ib)
+        ts[("E", op.k2, op.j)] = t
+        t_of[idx] = t
+    elif op.kind == "TSMQR":
+        _K.tsmqr(
+            a.tile(op.k2, op.j),
+            ts[("E", op.k2, op.j)],
+            a.tile(op.i, op.l),
+            a.tile(op.k2, op.l),
+        )
+    elif op.kind == "TTQRT":
+        r1 = a.tile(op.i, op.j)[: op.k, : op.k]
+        r2 = a.tile(op.k2, op.j)[: op.m2, : op.k]
+        t = _K.ttqrt(r1, r2, ib)
+        ts[("E", op.k2, op.j)] = t
+        t_of[idx] = t
+    else:  # TTMQR
+        v2 = a.tile(op.k2, op.j)[: op.m2, : op.k]
+        c2 = a.tile(op.k2, op.l)[: op.m2, :]
+        _K.ttmqr(v2, ts[("E", op.k2, op.j)], a.tile(op.i, op.l), c2)
+    if rec is not None:
+        rec.count(_obs_record.K_BATCH_CALLS)
+        rec.count(_obs_record.K_BATCH_OPS)
+
+
+def _run_group(a, ops, members, ib, ts, t_of, rec, views) -> None:
+    """Execute one same-signature group as a single stacked kernel call."""
+    kind = ops[members[0]].kind
+    reads = [views[idx][0] for idx in members]
+    writes = [views[idx][1] for idx in members]
+    start = rec.now() if rec is not None else 0.0
+
+    if kind == "GEQRT":
+        stack = _gather([w[0] for w in writes])
+        t = _bk.geqrt_batched(stack, ib)
+        _scatter([w[0] for w in writes], stack)
+        for b, idx in enumerate(members):
+            op = ops[idx]
+            ts[("G", op.i, op.j)] = t[b]
+            t_of[idx] = t[b]
+    elif kind == "ORMQR":
+        v = _gather([r[0] for r in reads])
+        tstack = np.stack([ts[("G", ops[i].i, ops[i].j)] for i in members])
+        c = _gather([w[0] for w in writes])
+        _bk.ormqr_batched(v, tstack, c)
+        _scatter([w[0] for w in writes], c)
+    elif kind in ("TSQRT", "TTQRT"):
+        r1 = _gather([w[0] for w in writes])
+        r2 = _gather([w[1] for w in writes])
+        fn = _bk.tsqrt_batched if kind == "TSQRT" else _bk.ttqrt_batched
+        t = fn(r1, r2, ib)
+        _scatter([w[0] for w in writes], r1)
+        _scatter([w[1] for w in writes], r2)
+        for b, idx in enumerate(members):
+            op = ops[idx]
+            ts[("E", op.k2, op.j)] = t[b]
+            t_of[idx] = t[b]
+    else:  # TSMQR / TTMQR
+        v = _gather([r[0] for r in reads])
+        tstack = np.stack([ts[("E", ops[i].k2, ops[i].j)] for i in members])
+        c1 = _gather([w[0] for w in writes])
+        c2 = _gather([w[1] for w in writes])
+        fn = _bk.tsmqr_batched if kind == "TSMQR" else _bk.ttmqr_batched
+        fn(v, tstack, c1, c2)
+        _scatter([w[0] for w in writes], c1)
+        _scatter([w[1] for w in writes], c2)
+
+    if rec is not None:
+        _record_group(rec, ops, members, ib, start, rec.now())
+
+
+def _record_group(rec, ops, members, ib, start, end) -> None:
+    """Record one stacked call as per-op spans slicing the window evenly.
+
+    Slicing keeps lane-busy time exact and gives every op a span, so gap
+    reports show no unmeasured time and realized-critical-path waits stay
+    non-negative (wavefronts execute sequentially on one lane).
+    """
+    bsz = len(members)
+    width = (end - start) / bsz
+    for b, idx in enumerate(members):
+        op = ops[idx]
+        rec.record_kernel(
+            op.kind,
+            _KERNEL_CATEGORY[op.kind],
+            kernel_flops(op.kind, op.m2, op.k, op.q, ib),
+            start + b * width,
+            start + (b + 1) * width,
+            0,
+            op=idx,
+        )
+    rec.count(_obs_record.K_BATCH_CALLS)
+    rec.count(_obs_record.K_BATCH_OPS, bsz)

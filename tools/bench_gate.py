@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
 """Benchmark regression gate over the append-only trajectory file.
 
-Runs the pinned QR benchmark (serial + parallel backends), appends the
-entry to ``results/BENCH_qr.json``, and fails when wall time regresses
-beyond the noise band — or when the derived op/flop counters drift at all
-— against the minimum of the last few comparable entries (same pinned
-config, same host fingerprint).  See ``docs/performance.md``.
+Runs the pinned QR benchmark (serial + batched + parallel backends),
+appends the entry to ``results/BENCH_qr.json``, and fails when wall time
+regresses beyond the noise band — or when the derived op/flop counters
+drift at all — against the minimum of the last few comparable entries
+(same pinned config, same host fingerprint).  The batched backend also
+has an absolute floor: slower than serial fails the gate outright.
+See ``docs/performance.md``.
 
 Usage::
 
@@ -72,14 +74,17 @@ def main(argv: list[str] | None = None) -> int:
     print(f"bench_gate: running {label} config {config}")
     entry = run_qr_benchmark(**config)
     if args.inject_slowdown is not None:
-        for key in ("serial_s", "parallel_s"):
+        for key in ("serial_s", "batched_s", "parallel_s"):
             entry["measured"][key] = round(
                 entry["measured"][key] * args.inject_slowdown, 6
             )
         print(f"bench_gate: injected {args.inject_slowdown}x slowdown (not recorded)")
     m = entry["measured"]
     print(
-        f"bench_gate: serial {m['serial_s']:.4f}s, parallel {m['parallel_s']:.4f}s "
+        f"bench_gate: serial {m['serial_s']:.4f}s, "
+        f"batched {m['batched_s']:.4f}s "
+        f"({entry['derived']['batched_speedup']}x), "
+        f"parallel {m['parallel_s']:.4f}s "
         f"({m['parallel_mode']}), counters {entry['counters']}"
     )
 
