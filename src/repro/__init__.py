@@ -29,11 +29,15 @@ from typing import TYPE_CHECKING
 
 __version__ = "1.0.0"
 
-__all__ = ["qr_factor", "lstsq", "QRFactorization", "FaultPlan", "__version__"]
+__all__ = [
+    "qr_factor", "lstsq", "QRFactorization", "QRSession", "FaultPlan",
+    "__version__",
+]
 
 if TYPE_CHECKING:  # pragma: no cover - import-time typing only
     from .faults import FaultPlan
     from .qr.api import QRFactorization, lstsq, qr_factor
+    from .qr.session import QRSession
 
 
 def __getattr__(name: str):
@@ -42,6 +46,10 @@ def __getattr__(name: str):
         from .qr import api
 
         return getattr(api, name)
+    if name == "QRSession":
+        from .qr.session import QRSession
+
+        return QRSession
     if name == "FaultPlan":
         from .faults import FaultPlan
 

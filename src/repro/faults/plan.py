@@ -64,7 +64,11 @@ class FaultPlan:
         first process incarnation of ``rank`` calls ``os._exit`` immediately
         before executing its ``ordinal``-th operation (0-based, counted per
         process).  Respawned incarnations (generation > 0) never crash, so
-        recovery always converges.
+        recovery always converges.  Under a persistent
+        :class:`repro.QRSession` the ordinal count restarts with every
+        ``factor`` call (each job runs its own schedule), but generation
+        tags persist across calls — once a pool worker has been respawned,
+        the same plan cannot kill it again in later calls of that session.
 
     Examples
     --------

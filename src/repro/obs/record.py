@@ -82,6 +82,12 @@ __all__ = [
     "K_WORKER_RESTART",
     "K_REDISPATCH_OPS",
     "K_FALLBACK_SERIAL",
+    "K_POOL_LEASES",
+    "K_POOL_SPAWNS",
+    "K_POOL_REUSED",
+    "K_PLAN_HITS",
+    "K_PLAN_MISSES",
+    "K_PLAN_EVICTIONS",
 ]
 
 # -- canonical counter keys --------------------------------------------------
@@ -108,6 +114,14 @@ K_WORKER_DEAD = "worker.dead"  # dead worker processes detected
 K_WORKER_RESTART = "worker.restart"  # replacement workers spawned
 K_REDISPATCH_OPS = "retry.redispatch"  # in-flight ops re-dispatched after a death
 K_FALLBACK_SERIAL = "fallback.serial"  # degradations to the serial reference
+
+# Persistent-session events (repro.qr.session; docs/sessions.md).
+K_POOL_LEASES = "pool.leases"  # jobs leased to a persistent worker pool
+K_POOL_SPAWNS = "pool.spawns"  # pool worker processes spawned (cold start or respawn)
+K_POOL_REUSED = "pool.reused"  # warm worker reuses across session.factor calls
+K_PLAN_HITS = "plan.hits"  # PlanCache hits (op DAG + wavefront schedule reused)
+K_PLAN_MISSES = "plan.misses"  # PlanCache misses (schedule derived from scratch)
+K_PLAN_EVICTIONS = "plan.evictions"  # LRU evictions (cached arena destroyed)
 
 
 @dataclass(frozen=True)

@@ -48,7 +48,7 @@ SMOKE_CONFIG = dict(m=480, n=96, nb=16, ib=8, tree="hier", h=2, procs=2, repeats
 FULL_CONFIG = dict(m=4096, n=512, nb=64, ib=32, tree="hier", h=4, procs=4, repeats=3)
 
 #: Wall-time keys subject to the noise band.
-TIME_KEYS = ("serial_s", "batched_s", "parallel_s")
+TIME_KEYS = ("serial_s", "batched_s", "parallel_s", "session_warm_s")
 #: Counter keys that must reproduce exactly.
 COUNTER_KEYS = ("ops.total", "flops.total")
 
@@ -113,6 +113,17 @@ def run_qr_benchmark(
         f[0] = qr_factor(a, **kw, backend="parallel", n_procs=procs)
 
     parallel_s = best(run_parallel)
+
+    # Warm persistent-session calls (docs/sessions.md): one unmeasured cold
+    # call pays spawn + plan derivation, then the measured calls reuse the
+    # pool, arena, and cached schedule.
+    from ..qr.session import QRSession
+
+    with QRSession(n_procs=procs) as sess:
+        warm_kw = dict(kw, batch="wavefront")
+        sess.factor(a, **warm_kw)  # cold: spawn pool, build plan cache entry
+        session_warm_s = best(lambda: sess.factor(a, **warm_kw))
+
     counters = f[0].counters
     return {
         "written": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -123,6 +134,7 @@ def run_qr_benchmark(
             "serial_s": round(serial_s, 6),
             "batched_s": round(batched_s, 6),
             "parallel_s": round(parallel_s, 6),
+            "session_warm_s": round(session_warm_s, 6),
             "parallel_mode": f[0].stats.mode if f[0].stats else "parallel",
         },
         # Rounded so summation-order float noise can't trip the exact-match
@@ -132,6 +144,10 @@ def run_qr_benchmark(
             "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
             "batched_speedup": (
                 round(serial_s / batched_s, 3) if batched_s > 0 else None
+            ),
+            "session_speedup": (
+                round(parallel_s / session_warm_s, 3)
+                if session_warm_s > 0 else None
             ),
             "serial_gflops": round(counters["flops.total"] / serial_s / 1e9, 3),
         },
@@ -184,11 +200,18 @@ def baseline_for(entries: list[dict], entry: dict, last_k: int = 5) -> dict | No
 def check_regression(entry: dict, baseline: dict, *, tolerance: float = 0.5) -> list[str]:
     """Problems with ``entry`` vs ``baseline``; empty means the gate passes.
 
-    Besides the baseline comparisons, one *absolute* floor is enforced:
-    the batched backend must not be slower than serial on the pinned
-    config — wavefront batching exists to amortise dispatch overhead, so
-    ``batched_s > serial_s`` means the optimisation has regressed into a
-    pessimisation regardless of history.
+    Besides the baseline comparisons, two *absolute* floors are enforced
+    (checked against the entry itself rather than history):
+
+    * the batched backend must not be slower than serial on the pinned
+      config — wavefront batching exists to amortise dispatch overhead, so
+      ``batched_s > serial_s`` means the optimisation has regressed into a
+      pessimisation regardless of history;
+    * a warm ``QRSession.factor`` call must not be slower than a cold
+      one-shot ``qr_factor(backend="parallel")`` on the same config — the
+      session exists to amortise spawn/attach and plan derivation, so
+      ``session_warm_s > parallel_s`` means the reuse machinery costs more
+      than it saves.
     """
     problems = []
     serial = entry["measured"].get("serial_s")
@@ -197,6 +220,13 @@ def check_regression(entry: dict, baseline: dict, *, tolerance: float = 0.5) -> 
         problems.append(
             f"batched backend slower than serial: {batched:.4f}s vs "
             f"{serial:.4f}s (speedup {serial / batched:.2f}x < 1.0x)"
+        )
+    parallel = entry["measured"].get("parallel_s")
+    warm = entry["measured"].get("session_warm_s")
+    if parallel is not None and warm is not None and warm > parallel:
+        problems.append(
+            f"warm session call slower than one-shot parallel: {warm:.4f}s "
+            f"vs {parallel:.4f}s (amortization {parallel / warm:.2f}x < 1.0x)"
         )
     for key in TIME_KEYS:
         new = entry["measured"].get(key)

@@ -9,6 +9,7 @@ from .domino import build_domino_vsa
 from .ops import FACTOR_KINDS, UPDATE_KINDS, Op, expand_plans
 from .parallel import ParallelRunStats, default_n_procs, execute_ops_parallel
 from .reference import FactorRecord, TileQRFactors, execute_ops
+from .session import PlanCache, QRSession, WorkerPool
 from .vsa3d import QRArray, build_qr_vsa
 
 __all__ = [
@@ -35,4 +36,7 @@ __all__ = [
     "QRFactorization",
     "qr_factor",
     "lstsq",
+    "QRSession",
+    "PlanCache",
+    "WorkerPool",
 ]

@@ -192,6 +192,7 @@ def qr_factor(
     metrics: str | os.PathLike | None = None,
     fault_plan=None,
     on_failure: str = "raise",
+    session=None,
 ) -> QRFactorization:
     """Tree-based tile QR factorization of a tall-and-skinny matrix.
 
@@ -205,6 +206,52 @@ def qr_factor(
     True
     >>> f.counters["ops.total"]  # 1 GEQRT + 2 TSQRT on a 3x1 tile grid
     3.0
+
+    ``batch="wavefront"`` keeps the parallel dispatcher but runs whole
+    wavefront slices as stacked kernel calls — factors stay bit-identical
+    to serial:
+
+    >>> f_wf = qr_factor(a, nb=4, ib=2, tree="flat",
+    ...                  backend="parallel", n_procs=2, batch="wavefront")
+    >>> bool(np.array_equal(f_wf.R, f.R))
+    True
+
+    ``metrics=`` streams live counter/gauge samples to JSON-lines while
+    the backend runs (one object per ~50 ms snapshot):
+
+    >>> import json, tempfile, os as _os
+    >>> path = _os.path.join(tempfile.mkdtemp(), "m.jsonl")
+    >>> f2 = qr_factor(a, nb=4, ib=2, tree="flat", metrics=path)
+    >>> sample = json.loads(open(path).read().splitlines()[-1])
+    >>> sample["counters"]["ops.total"]
+    3.0
+
+    ``fault_plan=`` injects deterministic faults — here worker 0 dies
+    right before its first op; the parallel backend re-dispatches the
+    lost op to a respawned worker and the factors still come out
+    bit-identical.  ``on_failure="fallback"`` additionally guarantees a
+    result even when recovery itself fails (retries exhausted, watchdog
+    timeout): the run is redone with the serial reference executor and
+    ``stats.mode`` becomes ``'serial-fallback'`` — here recovery
+    succeeded in place, so no fallback was needed:
+
+    >>> from repro.faults import FaultPlan
+    >>> chaos = FaultPlan(crash_workers={0: 0})
+    >>> f3 = qr_factor(a, nb=4, ib=2, tree="flat", backend="parallel",
+    ...                n_procs=2, fault_plan=chaos, on_failure="fallback")
+    >>> (f3.stats.workers_died, f3.stats.workers_respawned, f3.stats.mode)
+    (1, 1, 'parallel')
+    >>> bool(np.array_equal(f3.R, f.R))
+    True
+
+    ``session=`` (a :class:`repro.QRSession`) reuses a persistent worker
+    pool and cached plan across calls — see ``docs/sessions.md``:
+
+    >>> from repro import QRSession
+    >>> with QRSession(n_procs=2) as sess:
+    ...     f4 = sess.factor(a, nb=4, ib=2, tree="flat")
+    >>> bool(np.array_equal(f4.R, f.R))
+    True
 
     Parameters
     ----------
@@ -269,6 +316,18 @@ def qr_factor(
         ``fallback.serial`` counter and a ``fallback`` span.
         Configuration errors always raise — a bad parameter would fail
         serially too.
+    session:
+        Optional :class:`repro.QRSession` (see :mod:`repro.qr.session` and
+        ``docs/sessions.md``).  The panel plans, op DAG, and wavefront
+        schedule come from the session's :class:`~repro.qr.session.PlanCache`
+        instead of being derived per call, and ``backend="parallel"`` runs
+        on the session's persistent worker pool and shared-memory arena —
+        warm repeat calls skip spawn/attach entirely
+        (``stats.spawn_s ~ 0``).  Factors stay bit-exact with the
+        session-less path.  Supported for the ``serial``, ``batched``, and
+        ``parallel`` backends; ``n_procs`` must be omitted or equal the
+        session's pool size.  ``session.factor(a, ...)`` is the convenience
+        spelling of ``qr_factor(a, session=sess, backend="parallel", ...)``.
 
     Returns
     -------
@@ -291,9 +350,12 @@ def qr_factor(
         if backend == "pulsar":
             workers = n_nodes * workers_per_node
         elif backend == "parallel":
-            from .parallel import default_n_procs
+            if session is not None:
+                workers = session.n_procs
+            else:
+                from .parallel import default_n_procs
 
-            workers = n_procs if n_procs is not None else default_n_procs()
+                workers = n_procs if n_procs is not None else default_n_procs()
         else:
             workers = None
         h = choose_domain_size(
@@ -310,8 +372,24 @@ def qr_factor(
         raise ConfigurationError(
             f"on_failure must be 'raise' or 'fallback', got {on_failure!r}"
         )
-    plans = plan_all_panels(kind, tm.mt, tm.nt, h=h, shifted=shifted)
-    ops = expand_plans(tm.layout, plans)
+    if session is not None:
+        session._check_open()
+        if backend == "pulsar":
+            raise ConfigurationError(
+                "session= supports the 'serial', 'batched', and 'parallel' "
+                "backends; the pulsar VSA builds its own runtime per call"
+            )
+        if backend == "parallel" and n_procs is not None and n_procs != session.n_procs:
+            raise ConfigurationError(
+                f"n_procs={n_procs} conflicts with the session's pool size "
+                f"{session.n_procs}; omit n_procs when passing session="
+            )
+        # Plans are resolved from the session's cache *inside* the recording
+        # window below, so plan.hits / plan.misses land in the evidence.
+        plans = ops = None
+    else:
+        plans = plan_all_panels(kind, tm.mt, tm.nt, h=h, shifted=shifted)
+        ops = expand_plans(tm.layout, plans)
     # Degradation needs a pristine input: the pulsar build hands tiles to
     # the VSA, so snapshot before any backend touches them.
     pristine = tm.copy() if on_failure == "fallback" and backend != "serial" else None
@@ -327,6 +405,10 @@ def qr_factor(
 
             sampler = MetricsSampler(recorder, metrics).start()
         try:
+            entry = None
+            if session is not None:
+                entry = session._plan_entry(kind, tm, ib=ib, h=h, shifted=shifted)
+                plans, ops = entry.plans, entry.ops
             if backend == "serial":
                 if recorder is not None:
                     recorder.name_lane(0, "serial")
@@ -335,15 +417,24 @@ def qr_factor(
             elif backend == "batched":
                 from .wavefront import execute_ops_batched
 
-                factors = execute_ops_batched(tm, ops, ib)
+                factors = execute_ops_batched(
+                    tm, ops, ib,
+                    wavefronts=None if entry is None else entry.wavefronts(),
+                )
                 stats = None
             elif backend == "parallel":
-                from .parallel import execute_ops_parallel
+                if entry is not None:
+                    factors, stats = session._execute_parallel(
+                        tm, ops, ib, entry, policy=policy, batch=batch,
+                        fault_plan=fault_plan,
+                    )
+                else:
+                    from .parallel import execute_ops_parallel
 
-                factors, stats = execute_ops_parallel(
-                    tm, ops, ib, n_procs=n_procs, policy=policy, batch=batch,
-                    fault_plan=fault_plan,
-                )
+                    factors, stats = execute_ops_parallel(
+                        tm, ops, ib, n_procs=n_procs, policy=policy,
+                        batch=batch, fault_plan=fault_plan,
+                    )
             else:  # pulsar
                 from .collector import assemble_factors
                 from .vsa3d import build_qr_vsa

@@ -261,6 +261,82 @@ def _execute_group(store, ops: list[Op], idxs: list[int], ib: int, flags) -> Non
             flags[i] = 1
 
 
+def _serve_job(store, flags, ops: list[Op], ib: int, fault_plan, rank: int,
+               generation: int, conn: Connection) -> object:
+    """Execute one job's dispatch messages until a terminator arrives.
+
+    The shared inner loop of both worker flavours (one-shot and persistent
+    pool).  Per-op timings travel back as absolute ``perf_counter`` stamps
+    so the parent can place them on the recorder's timeline (see module
+    docstring); the parent computes busy seconds from the same stamps.
+
+    Fault hooks: before each op the worker consults the
+    :class:`~repro.faults.FaultPlan` crash schedule (generation 0 only) and
+    ``os._exit``\\ s when told to.  ``ops_done`` ordinals restart at zero per
+    job, so in a session the same generation-0 schedule applies to every
+    ``factor`` call until the worker is respawned.  The op itself only runs
+    if its completion flag in the shared ``flags`` segment is still clear —
+    the flag is set right after the op's tile mutations, which is what makes
+    a re-dispatched op idempotent (see the module docstring).
+
+    Returns the terminator received: ``None`` (shut the worker down),
+    ``("endjob",)`` (job complete, a pool worker waits for the next job), or
+    the string ``"err"`` after an execution error was reported.
+    """
+    crashy = fault_plan is not None and fault_plan.faulty_workers
+    ops_done = 0
+    while True:
+        batch = conn.recv()
+        if batch is None:
+            return None
+        if isinstance(batch, tuple) and batch[0] == "endjob":
+            return batch
+        if isinstance(batch, tuple) and batch[0] == "stack":
+            # Wavefront slice: one stacked kernel call over the whole
+            # group.  The report slices the call window evenly across
+            # the ops so the parent's per-op spans stay exact in sum.
+            idxs = batch[1]
+            # A stacked slice advances ops_done by its whole width, so
+            # honour a crash scheduled anywhere inside it (injected
+            # crashes land on slice boundaries in this mode).
+            if crashy and any(
+                fault_plan.worker_crash(rank, generation, ops_done + b)
+                for b in range(len(idxs))
+            ):
+                os._exit(_CRASH_EXIT_CODE)
+            t0 = time.perf_counter()
+            try:
+                _execute_group(store, ops, idxs, ib, flags)
+            except BaseException:
+                conn.send(("err", rank, idxs[0], traceback.format_exc()))
+                return "err"
+            t1 = time.perf_counter()
+            ops_done += len(idxs)
+            width = (t1 - t0) / len(idxs)
+            conn.send((
+                "done",
+                rank,
+                [(i, t0 + b * width, t0 + (b + 1) * width)
+                 for b, i in enumerate(idxs)],
+            ))
+            continue
+        done: list[tuple[int, float, float]] = []
+        for idx in batch:
+            if crashy and fault_plan.worker_crash(rank, generation, ops_done):
+                os._exit(_CRASH_EXIT_CODE)
+            t0 = time.perf_counter()
+            if not flags[idx]:
+                try:
+                    _execute_op(store, ops[idx], ib)
+                except BaseException:
+                    conn.send(("err", rank, idx, traceback.format_exc()))
+                    return "err"
+                flags[idx] = 1
+            ops_done += 1
+            done.append((idx, t0, time.perf_counter()))
+        conn.send(("done", rank, done))
+
+
 def _worker_main(
     rank: int,
     generation: int,
@@ -272,19 +348,7 @@ def _worker_main(
     fault_plan,
     conn: Connection,
 ) -> None:
-    """Worker loop: attach to the store once, then execute index batches.
-
-    Per-op timings travel back as absolute ``perf_counter`` stamps so the
-    parent can place them on the recorder's timeline (see module
-    docstring); the parent computes busy seconds from the same stamps.
-
-    Fault hooks: before each op the worker consults the
-    :class:`~repro.faults.FaultPlan` crash schedule (generation 0 only) and
-    ``os._exit``\\ s when told to.  The op itself only runs if its completion
-    flag in the shared ``flags`` segment is still clear — the flag is set
-    right after the op's tile mutations, which is what makes a re-dispatched
-    op idempotent (see the module docstring).
-    """
+    """One-shot worker: attach to the store once, serve one job, exit."""
     from ..tiles.shared import SharedTileStore, attach_untracked
 
     # A forked child inherits the parent's recorder; spans must be recorded
@@ -294,65 +358,67 @@ def _worker_main(
     t_attach0 = time.perf_counter()
     store = SharedTileStore.attach(shm_name, layout, ops, ib)
     flags_shm = attach_untracked(flags_name)
-    flags = flags_shm.buf
-    crashy = fault_plan is not None and fault_plan.faulty_workers
-    ops_done = 0
     try:
         conn.send(("attached", rank, t_attach0, time.perf_counter()))
-        while True:
-            batch = conn.recv()
-            if batch is None:
-                break
-            if isinstance(batch, tuple) and batch[0] == "stack":
-                # Wavefront slice: one stacked kernel call over the whole
-                # group.  The report slices the call window evenly across
-                # the ops so the parent's per-op spans stay exact in sum.
-                idxs = batch[1]
-                # A stacked slice advances ops_done by its whole width, so
-                # honour a crash scheduled anywhere inside it (injected
-                # crashes land on slice boundaries in this mode).
-                if crashy and any(
-                    fault_plan.worker_crash(rank, generation, ops_done + b)
-                    for b in range(len(idxs))
-                ):
-                    os._exit(_CRASH_EXIT_CODE)
-                t0 = time.perf_counter()
-                try:
-                    _execute_group(store, ops, idxs, ib, flags)
-                except BaseException:
-                    conn.send(("err", rank, idxs[0], traceback.format_exc()))
-                    return
-                t1 = time.perf_counter()
-                ops_done += len(idxs)
-                width = (t1 - t0) / len(idxs)
-                conn.send((
-                    "done",
-                    rank,
-                    [(i, t0 + b * width, t0 + (b + 1) * width)
-                     for b, i in enumerate(idxs)],
-                ))
-                continue
-            done: list[tuple[int, float, float]] = []
-            for idx in batch:
-                if crashy and fault_plan.worker_crash(rank, generation, ops_done):
-                    os._exit(_CRASH_EXIT_CODE)
-                t0 = time.perf_counter()
-                if not flags[idx]:
-                    try:
-                        _execute_op(store, ops[idx], ib)
-                    except BaseException:
-                        conn.send(("err", rank, idx, traceback.format_exc()))
-                        return
-                    flags[idx] = 1
-                ops_done += 1
-                done.append((idx, t0, time.perf_counter()))
-            conn.send(("done", rank, done))
+        _serve_job(store, flags_shm.buf, ops, ib, fault_plan, rank, generation, conn)
     except (EOFError, KeyboardInterrupt):  # parent went away: just exit
         pass
     finally:
         store.close()
-        flags = None
         flags_shm.close()
+        conn.close()
+
+
+def _pool_worker_main(rank: int, generation: int, conn: Connection) -> None:
+    """Persistent pool worker: serve factorization jobs until told to exit.
+
+    Each job starts with a header
+    ``("job", shm_name, flags_name, layout, ops, ib, fault_plan)`` followed
+    by the usual dispatch messages and an ``("endjob",)`` terminator.  A
+    ``layout``/``ops`` of ``None`` means "same segment as your previous
+    job": the worker keeps its last shared-memory attachment and operation
+    list cached (the parent's :class:`~repro.qr.session.WorkerPool` tracks
+    which segment each worker has seen), so a warm ``session.factor`` call
+    costs this worker no re-attach and no op-list unpickling at all —
+    ``spawn_s`` on the parent collapses to the cost of a couple of pipe
+    messages.  A bare ``None`` instead of a job header shuts the worker
+    down.
+    """
+    from ..tiles.shared import SharedTileStore, attach_untracked
+
+    _obs_record._RECORDER = None
+    cached_name: str | None = None
+    cached_ops: list[Op] | None = None
+    cached_ib = 0
+    store = None
+    flags_shm = None
+    try:
+        while True:
+            msg = conn.recv()
+            if msg is None:
+                break
+            _, shm_name, flags_name, layout, ops, ib, fault_plan = msg
+            t_attach0 = time.perf_counter()
+            if shm_name != cached_name:
+                if store is not None:
+                    store.close()
+                    flags_shm.close()
+                store = SharedTileStore.attach(shm_name, layout, ops, ib)
+                flags_shm = attach_untracked(flags_name)
+                cached_name, cached_ops, cached_ib = shm_name, ops, ib
+            conn.send(("attached", rank, t_attach0, time.perf_counter()))
+            end = _serve_job(
+                store, flags_shm.buf, cached_ops, cached_ib,
+                fault_plan, rank, generation, conn,
+            )
+            if end is None or end == "err":
+                break
+    except (EOFError, KeyboardInterrupt):  # parent went away: just exit
+        pass
+    finally:
+        if store is not None:
+            store.close()
+            flags_shm.close()
         conn.close()
 
 
@@ -431,6 +497,10 @@ def execute_ops_parallel(
     fault_plan=None,
     max_redispatch: int = 2,
     respawn: bool = True,
+    graph=None,
+    wavefronts=None,
+    pool=None,
+    arena=None,
 ) -> tuple[TileQRFactors, ParallelRunStats]:
     """Run an operation list on ``a`` across worker processes.
 
@@ -472,6 +542,25 @@ def execute_ops_parallel(
         Spawn a replacement process for each dead worker (capped at
         ``n_procs`` respawns per run).  With ``respawn=False`` the run
         continues on the survivors and fails only when none remain.
+    graph, wavefronts:
+        Precomputed :func:`~repro.qr.dag.op_dependency_graph` result and
+        wavefront partition for *exactly these* ``ops`` — the
+        :class:`~repro.qr.session.PlanCache` passes them so warm
+        ``session.factor`` calls skip schedule derivation.  ``None`` (the
+        default) derives both here.
+    pool, arena:
+        Persistent-session plumbing (see :mod:`repro.qr.session` and
+        ``docs/sessions.md``).  ``pool`` is a
+        :class:`~repro.qr.session.WorkerPool`: instead of spawning
+        ``n_procs`` one-shot workers, the job is *leased* to the pool's
+        long-lived processes (respawned here on death via
+        ``pool.respawn``, preserving generation tags) and returned to it
+        with an ``("endjob",)`` message instead of being shut down.
+        ``arena`` is a :class:`~repro.qr.session._Arena` owning the shared
+        tile store and completion-flag segment; the caller has already
+        loaded ``a`` into it, and it survives this call for reuse.  Both
+        default to ``None`` — the one-shot create/spawn/teardown
+        lifecycle — and must be given (or omitted) together.
     """
     require(a.m >= a.n, f"tile QR requires m >= n, got {a.m} x {a.n}")
     require(policy in _POLICIES, f"policy must be one of {_POLICIES}, got {policy!r}")
@@ -491,20 +580,31 @@ def execute_ops_parallel(
         check_positive_int(batch, "batch")
     if n_procs == 1:
         return _fallback(a.copy(), ops, ib, "n_procs=1", policy)
+    require((pool is None) == (arena is None),
+            "pool and arena must be given together (or both omitted)")
 
-    try:
-        from ..tiles.shared import SharedTileStore
+    if arena is not None:
+        # Session mode: the arena already holds the tiles (the caller ran
+        # arena.load(a)) and a zeroed flag segment; both outlive this call.
+        store = arena.store
+        flags_shm = arena.flags
+    else:
+        try:
+            from ..tiles.shared import SharedTileStore
 
-        store = SharedTileStore.create(a, ops, ib)
-    except (ImportError, OSError) as exc:
-        return _fallback(a.copy(), ops, ib, f"shared memory unavailable: {exc}", policy)
-    # One completion-flag byte per op (the enforced-idempotency ledger, see
-    # module docstring).  Created zeroed; workers set flag[idx] after op
-    # idx's tile mutations.
-    flags_shm = shared_memory.SharedMemory(create=True, size=max(len(ops), 1))
-    flags_shm.buf[: len(flags_shm.buf)] = bytes(len(flags_shm.buf))
+            store = SharedTileStore.create(a, ops, ib)
+        except (ImportError, OSError) as exc:
+            return _fallback(
+                a.copy(), ops, ib, f"shared memory unavailable: {exc}", policy
+            )
+        # One completion-flag byte per op (the enforced-idempotency ledger,
+        # see module docstring).  Created zeroed; workers set flag[idx]
+        # after op idx's tile mutations.
+        flags_shm = shared_memory.SharedMemory(create=True, size=max(len(ops), 1))
+        flags_shm.buf[: len(flags_shm.buf)] = bytes(len(flags_shm.buf))
 
-    graph = op_dependency_graph(ops)
+    if graph is None:
+        graph = op_dependency_graph(ops)
     deps_left = graph.n_deps.copy()
     succ_index, succ_task = graph.succ_index, graph.succ_task
 
@@ -517,8 +617,10 @@ def execute_ops_parallel(
     group_of: list[int] = []
     group_pending: list[int] = []
     if wavefront:
+        if wavefronts is None:
+            wavefronts = compute_wavefronts(ops, graph)
         group_of = [0] * len(ops)
-        for wf in compute_wavefronts(ops, graph):
+        for wf in wavefronts:
             by_key: dict[tuple, list[int]] = {}
             for idx in wf:
                 r, w = _operand_views(a, ops[idx])
@@ -544,10 +646,16 @@ def execute_ops_parallel(
             rec.name_lane(w, f"proc {w}")
         rec.name_lane(n_procs, "dispatcher")
     ctx = mp.get_context()
-    procs: dict[int, mp.Process] = {}
-    conns: dict[int, Connection] = {}
-    generations: dict[int, int] = {}
+    if pool is not None:
+        # Lease the pool's long-lived workers: same dict objects, so
+        # pool.respawn() replacements are visible to the dispatcher below.
+        procs, conns, generations = pool.procs, pool.conns, pool.generations
+    else:
+        procs: dict[int, mp.Process] = {}
+        conns: dict[int, Connection] = {}
+        generations: dict[int, int] = {}
     t_run = time.perf_counter()
+    success = False
 
     def spawn(rank: int, generation: int) -> None:
         parent_conn, child_conn = ctx.Pipe()
@@ -567,15 +675,27 @@ def execute_ops_parallel(
         generations[rank] = generation
 
     try:
-        for rank in range(n_procs):
-            spawn(rank, 0)
+        if pool is not None:
+            lease = pool.lease(
+                n_procs, shm_name=store.name, flags_name=flags_shm.name,
+                layout=a.layout, ops=ops, ib=ib, fault_plan=fault_plan,
+            )
+        else:
+            for rank in range(n_procs):
+                spawn(rank, 0)
         stats.spawn_s = time.perf_counter() - t_run
         if rec is not None:
             end = rec.now()
-            rec.add_span(
-                "spawn", "dispatch", end - stats.spawn_s, end, worker=n_procs,
-                args={"n_procs": n_procs},
-            )
+            if pool is not None:
+                rec.add_span(
+                    "pool.lease", "dispatch", end - stats.spawn_s, end,
+                    worker=n_procs, args=lease,
+                )
+            else:
+                rec.add_span(
+                    "spawn", "dispatch", end - stats.spawn_s, end,
+                    worker=n_procs, args={"n_procs": n_procs},
+                )
 
         ready = _ReadyPool(policy)
 
@@ -611,6 +731,8 @@ def execute_ops_parallel(
                 lambda: sum(len(s) for s in list(inflight_of.values())),
             )
             rec.register_gauge("parallel.workers_alive", lambda: len(alive))
+            if pool is not None:
+                rec.register_gauge("pool.workers_alive", pool.alive_count)
             rec.register_gauge("parallel.completed_ops", lambda: completed)
             rec.register_gauge(
                 "parallel.redispatched", lambda: stats.ops_redispatched
@@ -720,7 +842,10 @@ def execute_ops_parallel(
                 stats.workers_respawned += 1
                 if rec is not None:
                     rec.count(K_WORKER_RESTART)
-                spawn(w, generations[w] + 1)
+                if pool is not None:
+                    pool.respawn(w)
+                else:
+                    spawn(w, generations[w] + 1)
                 alive.add(w)
                 inflight_of[w] = set()
                 idle.append(w)
@@ -805,37 +930,55 @@ def execute_ops_parallel(
             dispatch()
             stats.dispatch_s += time.perf_counter() - t0
 
-        for w in alive:
-            try:
-                conns[w].send(None)
-            except (BrokenPipeError, OSError):
-                pass
-        for p in procs.values():
-            p.join(timeout=10.0)
+        if pool is not None:
+            # Hand the workers back to the pool: they keep their store
+            # attachment and await the next job header.
+            for w in alive:
+                try:
+                    conns[w].send(("endjob",))
+                except (BrokenPipeError, OSError):
+                    pass
+        else:
+            for w in alive:
+                try:
+                    conns[w].send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+            for p in procs.values():
+                p.join(timeout=10.0)
         stats.elapsed_s = time.perf_counter() - t_run
 
         factored = store.extract_matrix()
         ts = store.extract_ts()
+        success = True
     finally:
         if rec is not None:
             for g in (
                 "parallel.ready_ops", "parallel.inflight_ops",
-                "parallel.workers_alive", "parallel.completed_ops",
-                "parallel.redispatched",
+                "parallel.workers_alive", "pool.workers_alive",
+                "parallel.completed_ops", "parallel.redispatched",
             ):
                 rec.unregister_gauge(g)
-        for p in procs.values():
-            if p.is_alive():
-                p.terminate()
-        for conn in conns.values():
-            try:
-                conn.close()
-            except OSError:
-                pass
-        store.close()
-        store.unlink()
-        flags_shm.close()
-        flags_shm.unlink()
+        if pool is not None:
+            if not success:
+                # Workers may be mid-job or wedged; a clean slate (fresh
+                # processes, bumped generations) is the only safe state to
+                # return the pool in.
+                pool.reset()
+        else:
+            for p in procs.values():
+                if p.is_alive():
+                    p.terminate()
+            for conn in conns.values():
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        if arena is None:
+            store.close()
+            store.unlink()
+            flags_shm.close()
+            flags_shm.unlink()
 
     factors = TileQRFactors(a=factored, ib=ib)
     for op in ops:

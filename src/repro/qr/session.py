@@ -1,0 +1,495 @@
+"""Persistent factorization sessions: reusable worker pool + plan cache.
+
+One-shot ``qr_factor(backend="parallel")`` pays, on every call, for things
+that do not depend on the matrix *values* at all: spawning worker
+processes, attaching them to a fresh shared-memory segment, deriving the
+op dependency DAG (:func:`repro.qr.dag.op_dependency_graph`) and — in
+wavefront mode — the wavefront partition
+(:func:`repro.qr.wavefront.compute_wavefronts`).  In the tall-skinny batch
+regime the paper targets, the same ``(shape, nb, ib, tree, h)``
+configuration is factored over and over, and all of that is pure,
+repeated overhead.
+
+:class:`QRSession` amortises it.  A session owns
+
+* a :class:`WorkerPool` of long-lived worker processes
+  (:func:`repro.qr.parallel._pool_worker_main`) that serve one
+  factorization *job* after another instead of exiting, keeping their
+  shared-memory attachment cached between jobs; and
+* a :class:`PlanCache` — an LRU keyed by
+  ``(m, n, nb, ib, tree, h, shifted)`` that memoizes the panel plans, the
+  expanded operation list, the dependency graph, the wavefront partition,
+  and a shared-memory *arena* (tile segment + completion-flag segment)
+  sized for that plan.
+
+``session.factor(a, ...)`` routes through :func:`repro.qr.api.qr_factor`
+(and accepts the same keywords), so every guarantee of the one-shot path
+holds unchanged: factors are **bit-exact** with ``backend="serial"``, the
+idempotent completion-flag dispatch of PR 3 still re-dispatches and
+respawns after worker crashes, and generation tags survive across calls
+(a pool worker respawned during call *k* keeps its bumped generation in
+call *k+1*, so a generation-0 :class:`~repro.faults.FaultPlan` cannot
+re-kill it).  See ``docs/sessions.md`` for the lifecycle and the
+warm-vs-cold cost model, and ``benchmarks/bench_session.py`` for measured
+amortized throughput.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro import QRSession
+>>> rng = np.random.default_rng(0)
+>>> with QRSession(n_procs=2) as sess:
+...     f1 = sess.factor(rng.standard_normal((96, 32)), nb=16, ib=8)
+...     f2 = sess.factor(rng.standard_normal((96, 32)), nb=16, ib=8)
+>>> sess.plan_cache.stats.hits, sess.plan_cache.stats.misses
+(1, 1)
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..obs import record as _obs_record
+from ..obs.record import (
+    K_PLAN_EVICTIONS,
+    K_PLAN_HITS,
+    K_PLAN_MISSES,
+    K_POOL_LEASES,
+    K_POOL_REUSED,
+    K_POOL_SPAWNS,
+)
+from ..util.errors import ConfigurationError
+from ..util.validation import check_positive_int
+from .dag import op_dependency_graph
+from .wavefront import compute_wavefronts
+
+__all__ = ["QRSession", "PlanCache", "PlanCacheStats", "WorkerPool"]
+
+
+class _Arena:
+    """A plan's reusable shared-memory footprint: tile store + flag segment.
+
+    The segment layout is a pure function of ``(layout, ops, ib)``
+    (:func:`repro.tiles.shared._segment_plan`), so an arena created for a
+    plan key fits every later matrix factored under the same key —
+    :meth:`load` just copies the new tiles in and re-zeroes the per-op
+    completion flags, and pool workers that already attached to the
+    segment never re-attach.
+    """
+
+    def __init__(self, store, flags):
+        self.store = store
+        self.flags = flags
+
+    @classmethod
+    def create(cls, a, ops, ib):
+        from multiprocessing import shared_memory
+
+        from ..tiles.shared import SharedTileStore
+
+        store = SharedTileStore.create(a, ops, ib)
+        try:
+            flags = shared_memory.SharedMemory(create=True, size=max(len(ops), 1))
+        except OSError:
+            store.close()
+            store.unlink()
+            raise
+        flags.buf[: len(flags.buf)] = bytes(len(flags.buf))
+        return cls(store, flags)
+
+    def load(self, a) -> None:
+        """Copy ``a``'s tiles into the arena and clear all completion flags."""
+        for i, j, tile in a.iter_tiles():
+            self.store.tile(i, j)[...] = tile
+        n = len(self.flags.buf)
+        self.flags.buf[:n] = bytes(n)
+
+    def destroy(self) -> None:
+        self.store.close()
+        self.store.unlink()
+        self.flags.close()
+        self.flags.unlink()
+
+
+class _PlanEntry:
+    """One cached plan: ops plus lazily derived schedule artefacts.
+
+    The dependency graph, wavefront partition, and arena are built on
+    first use and then pinned to the entry, so a warm ``session.factor``
+    call re-derives nothing.
+    """
+
+    def __init__(self, key, plans, ops):
+        self.key = key
+        self.plans = plans
+        self.ops = ops
+        self._graph = None
+        self._wavefronts = None
+        self._arena = None
+
+    def graph(self):
+        if self._graph is None:
+            self._graph = op_dependency_graph(self.ops)
+        return self._graph
+
+    def wavefronts(self):
+        if self._wavefronts is None:
+            self._wavefronts = compute_wavefronts(self.ops, self.graph())
+        return self._wavefronts
+
+    def arena_for(self, a, ib) -> _Arena:
+        """The entry's arena, created from ``a`` on first use.
+
+        Raises ``OSError`` where shared memory is unavailable; the caller
+        degrades to the serial fallback, exactly like the one-shot path.
+        """
+        if self._arena is None:
+            self._arena = _Arena.create(a, self.ops, ib)
+        return self._arena
+
+    def close(self) -> None:
+        if self._arena is not None:
+            self._arena.destroy()
+            self._arena = None
+
+
+@dataclass
+class PlanCacheStats:
+    """Cumulative :class:`PlanCache` event counts (mirrors the ``plan.*``
+    observability counters, but always on)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+
+class PlanCache:
+    """LRU cache of factorization plans keyed by
+    ``(m, n, nb, ib, tree, h, shifted)``.
+
+    Everything under a key is a pure function of that key — panel plans,
+    op list, dependency graph, wavefront partition, arena *layout* — so
+    entries never go stale and there is no invalidation beyond LRU
+    capacity eviction (evicting destroys the entry's shared-memory
+    arena).  Hits, misses, and evictions are tallied on :attr:`stats`
+    always, and on the ``plan.*`` observability counters when a recording
+    is active.
+    """
+
+    def __init__(self, maxsize: int = 8):
+        check_positive_int(maxsize, "plan_cache_size")
+        self.maxsize = maxsize
+        self.stats = PlanCacheStats()
+        self._entries: OrderedDict[tuple, _PlanEntry] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: tuple, build) -> _PlanEntry:
+        """The entry for ``key``, building it with ``build() -> (plans, ops)``
+        on a miss (evicting the least recently used entry past capacity)."""
+        rec = _obs_record._RECORDER
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            if rec is not None:
+                rec.count(K_PLAN_HITS)
+            return entry
+        plans, ops = build()
+        entry = _PlanEntry(key, plans, ops)
+        self._entries[key] = entry
+        self.stats.misses += 1
+        if rec is not None:
+            rec.count(K_PLAN_MISSES)
+        while len(self._entries) > self.maxsize:
+            _, evicted = self._entries.popitem(last=False)
+            evicted.close()
+            self.stats.evictions += 1
+            if rec is not None:
+                rec.count(K_PLAN_EVICTIONS)
+        return entry
+
+    def clear(self) -> None:
+        """Drop every entry, destroying cached shared-memory arenas."""
+        for entry in self._entries.values():
+            entry.close()
+        self._entries.clear()
+
+
+class WorkerPool:
+    """Long-lived worker processes leased out one factorization at a time.
+
+    Each worker runs :func:`repro.qr.parallel._pool_worker_main`: a loop
+    over *jobs*, where a job is a header message naming the shared
+    segments plus the usual dispatch traffic, ended by ``("endjob",)``.
+    The pool tracks which segment each worker last attached
+    (:attr:`known`) and sends a slim header (no layout, no op list) when
+    the worker already has it cached — a warm lease costs one small pipe
+    message per worker.
+
+    Generation tags are the pool's crash-recovery bookkeeping, shared
+    with the dispatcher in :func:`~repro.qr.parallel.execute_ops_parallel`
+    (the ``procs``/``conns``/``generations`` dicts are handed over *by
+    reference* during a lease, so mid-job respawns are visible to both
+    sides).  A rank's generation only ever increases — across respawns,
+    :meth:`reset`, and successive jobs — preserving the PR 3 semantics
+    that a :class:`~repro.faults.FaultPlan` kills generation 0 only.
+    """
+
+    def __init__(self, size: int):
+        check_positive_int(size, "pool size")
+        self.size = size
+        self.procs: dict[int, mp.process.BaseProcess] = {}
+        self.conns: dict = {}
+        self.generations: dict[int, int] = {}
+        #: rank -> name of the shared segment the worker has attached.
+        self.known: dict[int, str] = {}
+        self._ctx = mp.get_context()
+        self._job = None
+
+    def alive_count(self) -> int:
+        """Live worker processes (the ``pool.workers_alive`` gauge)."""
+        return sum(1 for p in self.procs.values() if p.is_alive())
+
+    def _spawn(self, rank: int) -> None:
+        from .parallel import _pool_worker_main
+
+        old = self.conns.pop(rank, None)
+        if old is not None:
+            try:
+                old.close()
+            except OSError:
+                pass
+        generation = self.generations.get(rank, -1) + 1
+        parent_conn, child_conn = self._ctx.Pipe()
+        p = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(rank, generation, child_conn),
+            daemon=True,
+            name=f"qr-pool-{rank}g{generation}",
+        )
+        p.start()
+        child_conn.close()
+        self.procs[rank] = p
+        self.conns[rank] = parent_conn
+        self.generations[rank] = generation
+        self.known.pop(rank, None)
+        rec = _obs_record._RECORDER
+        if rec is not None:
+            rec.count(K_POOL_SPAWNS)
+
+    def _send_job(self, rank: int) -> None:
+        """Send the current job header; slim if the segment is cached."""
+        job = self._job
+        slim = self.known.get(rank) == job["shm_name"]
+        self.conns[rank].send((
+            "job", job["shm_name"], job["flags_name"],
+            None if slim else job["layout"], None if slim else job["ops"],
+            job["ib"], job["fault_plan"],
+        ))
+        self.known[rank] = job["shm_name"]
+
+    def lease(self, k: int, *, shm_name, flags_name, layout, ops, ib,
+              fault_plan) -> dict:
+        """Hand ranks ``0..k-1`` one job: respawn the dead, brief the rest.
+
+        Returns the lease summary ``{"n_procs", "spawned", "reused"}``
+        recorded on the dispatcher's ``pool.lease`` span.
+        """
+        self._job = dict(
+            shm_name=shm_name, flags_name=flags_name, layout=layout,
+            ops=ops, ib=ib, fault_plan=fault_plan,
+        )
+        spawned = reused = 0
+        for rank in range(k):
+            p = self.procs.get(rank)
+            if p is None or not p.is_alive():
+                self._spawn(rank)
+                spawned += 1
+            else:
+                reused += 1
+            try:
+                self._send_job(rank)
+            except (BrokenPipeError, OSError):
+                # Died between the liveness check and the send: one retry
+                # with a fresh process (the dispatcher's watchdog and
+                # respawn machinery take over from here).
+                self._spawn(rank)
+                self._send_job(rank)
+        rec = _obs_record._RECORDER
+        if rec is not None:
+            rec.count(K_POOL_LEASES)
+            if reused:
+                rec.count(K_POOL_REUSED, reused)
+        return {"n_procs": k, "spawned": spawned, "reused": reused}
+
+    def respawn(self, rank: int) -> None:
+        """Replace a worker that died mid-job (generation bumps) and brief
+        the replacement on the in-flight job."""
+        self._spawn(rank)
+        self._send_job(rank)
+
+    def reset(self) -> None:
+        """Kill every worker after a failed job.
+
+        Workers may be wedged or mid-dispatch; fresh processes are the
+        only state safe to lease from again.  Generations are preserved
+        (and bump on the next spawn), so an injected-fault generation
+        never reappears.
+        """
+        for p in self.procs.values():
+            if p.is_alive():
+                p.terminate()
+        for p in self.procs.values():
+            p.join(timeout=5.0)
+        for conn in self.conns.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self.procs.clear()
+        self.conns.clear()
+        self.known.clear()
+
+    def shutdown(self) -> None:
+        """Graceful stop: ask each worker to exit, then make sure it did."""
+        for conn in self.conns.values():
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.perf_counter() + 5.0
+        for p in self.procs.values():
+            p.join(timeout=max(0.1, deadline - time.perf_counter()))
+            if p.is_alive():
+                p.terminate()
+        for conn in self.conns.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self.procs.clear()
+        self.conns.clear()
+        self.known.clear()
+        self.generations.clear()
+
+
+class QRSession:
+    """Reusable factorization context: persistent workers + cached plans.
+
+    Use as a context manager (or call :meth:`close` explicitly)::
+
+        with QRSession(n_procs=4) as sess:
+            for a in matrices:                 # same shape/nb/ib/tree/h
+                f = sess.factor(a, nb=64, ib=16)
+
+    The first call on a configuration is *cold* — it derives the plan and
+    spawns the pool, costing the same as one-shot ``qr_factor``.  Every
+    later call on that configuration is *warm*: plan, DAG, wavefronts,
+    shared-memory arena, and worker processes are all reused, so the call
+    reduces to copy-in, dispatch, copy-out (``stats.spawn_s`` collapses
+    to roughly zero).  Results are bit-exact with one-shot ``qr_factor``
+    on every backend.
+
+    Parameters
+    ----------
+    n_procs:
+        Pool size for ``backend="parallel"`` (default: usable CPUs).
+        ``1`` keeps the pool empty and routes parallel calls to the
+        serial fallback, mirroring ``qr_factor(n_procs=1)``.
+    plan_cache_size:
+        Maximum distinct configurations cached before LRU eviction.
+    """
+
+    def __init__(self, *, n_procs: int | None = None, plan_cache_size: int = 8):
+        from .parallel import default_n_procs
+
+        if n_procs is None:
+            n_procs = default_n_procs()
+        check_positive_int(n_procs, "n_procs")
+        self.n_procs = n_procs
+        self.plan_cache = PlanCache(plan_cache_size)
+        self._pool = WorkerPool(n_procs) if n_procs > 1 else None
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "QRSession":
+        self._check_open()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    @property
+    def pool(self) -> WorkerPool | None:
+        """The worker pool (``None`` when ``n_procs=1``)."""
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down and destroy every cached arena (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown()
+        self.plan_cache.clear()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError("QRSession is closed")
+
+    # -- factoring ---------------------------------------------------------
+
+    def factor(self, a, **kw):
+        """Factor ``a`` through this session.
+
+        Equivalent to ``qr_factor(a, session=self, **kw)`` with
+        ``backend`` defaulting to ``"parallel"`` instead of ``"serial"``
+        (the pool is the point of having a session).  Accepts every
+        :func:`~repro.qr.api.qr_factor` keyword except ``n_procs``, which
+        is fixed by the pool.
+        """
+        from .api import qr_factor
+
+        kw.setdefault("backend", "parallel")
+        return qr_factor(a, session=self, **kw)
+
+    def _plan_entry(self, kind, tm, *, ib: int, h: int, shifted: bool) -> _PlanEntry:
+        """The cached (or freshly built) plan entry for this configuration."""
+        from ..trees.plan import plan_all_panels
+        from .ops import expand_plans
+
+        key = (tm.m, tm.n, tm.nb, ib, kind, h, shifted)
+
+        def build():
+            plans = plan_all_panels(kind, tm.mt, tm.nt, h=h, shifted=shifted)
+            return plans, expand_plans(tm.layout, plans)
+
+        return self.plan_cache.lookup(key, build)
+
+    def _execute_parallel(self, tm, ops, ib, entry, *, policy, batch,
+                          fault_plan):
+        """Run the parallel backend against the session's pool and arena."""
+        from .parallel import _fallback, execute_ops_parallel
+
+        if self._pool is None or len(ops) <= 1:
+            return _fallback(tm.copy(), ops, ib, "n_procs=1", policy)
+        try:
+            arena = entry.arena_for(tm, ib)
+        except (ImportError, OSError) as exc:
+            return _fallback(
+                tm.copy(), ops, ib, f"shared memory unavailable: {exc}", policy
+            )
+        arena.load(tm)
+        return execute_ops_parallel(
+            tm, ops, ib, n_procs=self.n_procs, policy=policy, batch=batch,
+            fault_plan=fault_plan, graph=entry.graph(),
+            wavefronts=entry.wavefronts() if batch == "wavefront" else None,
+            pool=self._pool, arena=arena,
+        )

@@ -161,7 +161,9 @@ def _signature(op: Op) -> tuple:
 # -- batched serial executor -------------------------------------------------
 
 
-def execute_ops_batched(a: TileMatrix, ops: list[Op], ib: int) -> TileQRFactors:
+def execute_ops_batched(
+    a: TileMatrix, ops: list[Op], ib: int, *, wavefronts=None
+) -> TileQRFactors:
     """Run an operation list on ``a`` (in place) with wavefront batching.
 
     Semantically identical to :func:`repro.qr.reference.execute_ops` —
@@ -170,6 +172,10 @@ def execute_ops_batched(a: TileMatrix, ops: list[Op], ib: int) -> TileQRFactors:
     calls.  Factor records are appended in program order, so
     :class:`~repro.qr.reference.TileQRFactors` application order is
     unchanged.
+
+    ``wavefronts`` accepts a precomputed partition of *exactly these*
+    ``ops`` (a :class:`~repro.qr.session.PlanCache` passes its memoized
+    one); the default ``None`` computes it here.
     """
     require(a.m >= a.n, f"tile QR requires m >= n, got {a.m} x {a.n}")
     factors = TileQRFactors(a=a, ib=ib)
@@ -177,7 +183,8 @@ def execute_ops_batched(a: TileMatrix, ops: list[Op], ib: int) -> TileQRFactors:
     # Factor t-arrays land here keyed by op index; records are emitted in
     # program order at the end.
     t_of: dict[int, np.ndarray] = {}
-    wavefronts = compute_wavefronts(ops)
+    if wavefronts is None:
+        wavefronts = compute_wavefronts(ops)
     rec = _obs_record._RECORDER
     progress = [0]
     if rec is not None:

@@ -13,6 +13,7 @@ import pytest
 
 DOCTESTED_MODULES = [
     "repro.qr.api",
+    "repro.qr.session",
     "repro.obs.record",
     "repro.obs.export",
     "repro.obs.validate",

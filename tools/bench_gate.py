@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
 """Benchmark regression gate over the append-only trajectory file.
 
-Runs the pinned QR benchmark (serial + batched + parallel backends),
-appends the entry to ``results/BENCH_qr.json``, and fails when wall time
-regresses beyond the noise band — or when the derived op/flop counters
-drift at all — against the minimum of the last few comparable entries
-(same pinned config, same host fingerprint).  The batched backend also
-has an absolute floor: slower than serial fails the gate outright.
-See ``docs/performance.md``.
+Runs the pinned QR benchmark (serial + batched + parallel backends, plus
+warm persistent-session calls), appends the entry to
+``results/BENCH_qr.json``, and fails when wall time regresses beyond the
+noise band — or when the derived op/flop counters drift at all — against
+the minimum of the last few comparable entries (same pinned config, same
+host fingerprint).  Two absolute floors fail the gate outright: the
+batched backend slower than serial, and a warm ``QRSession.factor`` call
+slower than one-shot parallel.  See ``docs/performance.md`` and
+``docs/sessions.md``.
 
 Usage::
 
@@ -74,7 +76,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"bench_gate: running {label} config {config}")
     entry = run_qr_benchmark(**config)
     if args.inject_slowdown is not None:
-        for key in ("serial_s", "batched_s", "parallel_s"):
+        for key in ("serial_s", "batched_s", "parallel_s", "session_warm_s"):
             entry["measured"][key] = round(
                 entry["measured"][key] * args.inject_slowdown, 6
             )
@@ -85,7 +87,10 @@ def main(argv: list[str] | None = None) -> int:
         f"batched {m['batched_s']:.4f}s "
         f"({entry['derived']['batched_speedup']}x), "
         f"parallel {m['parallel_s']:.4f}s "
-        f"({m['parallel_mode']}), counters {entry['counters']}"
+        f"({m['parallel_mode']}), "
+        f"session warm {m['session_warm_s']:.4f}s "
+        f"({entry['derived']['session_speedup']}x vs one-shot parallel), "
+        f"counters {entry['counters']}"
     )
 
     entries = load_trajectory(args.out)

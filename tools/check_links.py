@@ -10,12 +10,19 @@ Scans markdown files for ``[text](target)`` links and verifies that
 * ``http(s)`` / ``mailto`` links are *not* fetched (CI has no business
   depending on the network); they are only checked for empty targets.
 
+When run on the default set (no arguments) it additionally fails on
+**orphaned docs pages**: every ``docs/*.md`` must be reachable from
+``README.md`` by following relative markdown links (breadth-first over
+the link graph) — a page nobody links to is a page nobody reads.
+
 Usage::
 
     python tools/check_links.py README.md DESIGN.md docs/*.md
     python tools/check_links.py            # default documentation set
+                                           # + orphaned-docs check
 
-Exit status is the number of broken links (0 = all good).
+Exit status is the number of broken links plus orphaned pages (0 = all
+good).
 """
 
 from __future__ import annotations
@@ -40,6 +47,8 @@ DEFAULT_FILES = (
     "docs/observability.md",
     "docs/performance.md",
     "docs/robustness.md",
+    "docs/sessions.md",
+    "docs/tuning.md",
 )
 
 
@@ -110,6 +119,39 @@ def check_file(path: pathlib.Path, repo_root: pathlib.Path) -> list[str]:
     return errors
 
 
+def reachable_from(start: pathlib.Path) -> set[pathlib.Path]:
+    """Markdown files reachable from ``start`` via relative ``.md`` links."""
+    seen = {start.resolve()}
+    frontier = [start.resolve()]
+    while frontier:
+        page = frontier.pop()
+        if not page.is_file():
+            continue
+        for _lineno, target in iter_links(page):
+            if not target or target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            base = target.partition("#")[0]
+            dest = (page.parent / base).resolve()
+            if dest.suffix == ".md" and dest not in seen:
+                seen.add(dest)
+                frontier.append(dest)
+    return seen
+
+
+def find_orphans(repo_root: pathlib.Path) -> list[str]:
+    """Every ``docs/*.md`` must be reachable from ``README.md``."""
+    readme = repo_root / "README.md"
+    if not readme.is_file():
+        return [f"{readme}: file not found (cannot check docs reachability)"]
+    seen = reachable_from(readme)
+    return [
+        f"{page.relative_to(repo_root)}: orphaned page "
+        "(not reachable from README.md via markdown links)"
+        for page in sorted((repo_root / "docs").glob("*.md"))
+        if page.resolve() not in seen
+    ]
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     repo_root = pathlib.Path(__file__).resolve().parent.parent
@@ -122,10 +164,12 @@ def main(argv: list[str] | None = None) -> int:
             errors.append(f"{path}: file not found")
             continue
         errors.extend(check_file(path, repo_root))
+    if not argv:  # default set: also enforce docs reachability
+        errors.extend(find_orphans(repo_root))
     for err in errors:
         print(err, file=sys.stderr)
     checked = len(paths)
-    print(f"checked {checked} file(s): {len(errors)} broken link(s)")
+    print(f"checked {checked} file(s): {len(errors)} problem(s)")
     return min(len(errors), 125)
 
 
