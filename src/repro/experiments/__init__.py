@@ -7,7 +7,7 @@ rendering mirrors the corresponding paper artefact.  The CLI
 never drift apart.
 """
 
-from .chaos import run_chaos
+from .chaos import run_chaos, run_chaos_sdc
 from .crossover import find_crossover, run_crossover
 from .figure7 import run_figure7, trace_gantt
 from .mapping_ablation import LAUNCH_CONFIGS, run_mapping_ablation
@@ -47,5 +47,6 @@ __all__ = [
     "find_crossover",
     "run_crossover",
     "run_chaos",
+    "run_chaos_sdc",
     "run_perf",
 ]

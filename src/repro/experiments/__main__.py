@@ -30,6 +30,7 @@ import sys
 from . import (
     PAPER,
     run_chaos,
+    run_chaos_sdc,
     run_crossover,
     run_mapping_ablation,
     run_memory_limits,
@@ -57,7 +58,7 @@ _EXPERIMENTS = {
     "memory": lambda cfg: [run_memory_limits(cfg)],
     "mapping": lambda cfg: [run_mapping_ablation(cfg)],
     "crossover": lambda cfg: [run_crossover(cfg)],
-    "chaos": lambda cfg: [run_chaos(cfg)],
+    "chaos": lambda cfg: [run_chaos(cfg), run_chaos_sdc(cfg)],
     "perf": run_perf,
 }
 _EXPERIMENTS["all"] = lambda cfg: [r for k in (

@@ -22,7 +22,12 @@ Consumers:
 * the parallel dispatcher (:mod:`repro.qr.parallel`) passes the plan to its
   workers, which consult :meth:`worker_crash` before each operation and
   die abruptly when told to (generation 0 only, so a respawned worker does
-  not crash-loop).
+  not crash-loop);
+* the SDC guard (:mod:`repro.qr.checksum`) consults :meth:`flip` after each
+  operation and, when told to, flips :attr:`flip_bits` bits of one element
+  of the op's freshly written output (the element and bit positions come
+  from :meth:`flip_target` / :meth:`flip_mask`) — modelling a silent bit
+  flip in a tile or a corrupted shared-memory payload.
 
 ``FaultPlan()`` with no rates is the identity plan: every predicate is
 ``False`` and the fast-path checks (:attr:`faulty_fabric`,
@@ -69,6 +74,21 @@ class FaultPlan:
         ``factor`` call (each job runs its own schedule), but generation
         tags persist across calls — once a pool worker has been respawned,
         the same plan cannot kill it again in later calls of that session.
+    flip_rate:
+        Per-op probability in ``[0, 1)`` that the op's freshly computed
+        output is silently corrupted before its checksum is verified
+        (docs/robustness.md, "Silent data corruption").  Applies on the
+        serial, batched, and parallel backends.
+    flip_bits:
+        How many distinct bits of the targeted element are flipped per
+        corruption (1..64; default 1 — the classic single-event upset).
+    flip_attempts:
+        How many *executions* of a flipped op are corrupted (default 1:
+        only the first execution, so one recomputation repairs it —
+        mirroring the generation-0 crash semantics).  Set it to 3 or more
+        to make recomputation disagree twice as well, forcing the guard
+        to escalate with
+        :class:`~repro.util.errors.SilentCorruptionError`.
 
     Examples
     --------
@@ -78,6 +98,9 @@ class FaultPlan:
     True
     >>> FaultPlan().faulty_fabric, FaultPlan(crash_workers={1: 4}).faulty_workers
     (False, True)
+    >>> sdc = FaultPlan(seed=7, flip_rate=0.5)
+    >>> sdc.faulty_sdc, sdc.flip(3, attempt=1)  # default corrupts attempt 0 only
+    (True, False)
     """
 
     seed: int = 0
@@ -86,13 +109,30 @@ class FaultPlan:
     delay_rate: float = 0.0
     delay_ticks: float = 8.0
     crash_workers: dict[int, int] = field(default_factory=dict)
+    flip_rate: float = 0.0
+    flip_bits: int = 1
+    flip_attempts: int = 1
 
     def __post_init__(self) -> None:
         check_nonnegative_int(self.seed, "seed")
-        for name in ("drop_rate", "duplicate_rate", "delay_rate"):
+        for name in ("drop_rate", "duplicate_rate", "delay_rate", "flip_rate"):
             rate = getattr(self, name)
-            if not isinstance(rate, (int, float)) or not 0.0 <= float(rate) < 1.0:
-                raise ConfigurationError(f"{name} must be in [0, 1), got {rate!r}")
+            if (isinstance(rate, bool) or not isinstance(rate, (int, float))
+                    or not 0.0 <= float(rate) < 1.0):
+                raise ConfigurationError(
+                    f"FaultPlan.{name} must be a probability in [0, 1), "
+                    f"got {rate!r}"
+                )
+        if not isinstance(self.flip_bits, int) or not 1 <= self.flip_bits <= 64:
+            raise ConfigurationError(
+                f"FaultPlan.flip_bits must be an int in [1, 64], "
+                f"got {self.flip_bits!r}"
+            )
+        if not isinstance(self.flip_attempts, int) or self.flip_attempts < 1:
+            raise ConfigurationError(
+                f"FaultPlan.flip_attempts must be a positive int, "
+                f"got {self.flip_attempts!r}"
+            )
         for rank, ordinal in self.crash_workers.items():
             check_nonnegative_int(rank, "crash_workers rank")
             check_nonnegative_int(ordinal, "crash_workers ordinal")
@@ -109,6 +149,11 @@ class FaultPlan:
     def faulty_workers(self) -> bool:
         """True when any worker crash is scheduled."""
         return bool(self.crash_workers)
+
+    @property
+    def faulty_sdc(self) -> bool:
+        """True when silent bit flips can ever fire (checksum guard needed)."""
+        return self.flip_rate > 0.0
 
     # -- decision hash -------------------------------------------------------
 
@@ -152,3 +197,42 @@ class FaultPlan:
         worker runs its schedule clean.
         """
         return generation == 0 and self.crash_workers.get(rank) == ops_done
+
+    # -- silent data corruption ----------------------------------------------
+
+    def flip(self, op_index: int, attempt: int = 0) -> bool:
+        """Is op ``op_index``'s output corrupted on its ``attempt``-th run?
+
+        The flip decision depends on the op alone (so the same plan flips
+        the same ops on every backend); ``attempt`` counts executions of
+        that op (0 = first).  Only the first :attr:`flip_attempts`
+        executions are corrupted, so with the default of 1 a single
+        recomputation always repairs the damage.
+        """
+        return (self.flip_rate > 0.0
+                and attempt < self.flip_attempts
+                and self._u("flip", op_index) < self.flip_rate)
+
+    def flip_target(self, op_index: int, attempt: int, n_elems: int) -> int:
+        """Which element (flat index over the op's written views) to corrupt."""
+        return min(
+            n_elems - 1,
+            int(self._u("flipw", op_index, attempt) * n_elems),
+        )
+
+    def flip_mask(self, op_index: int, attempt: int) -> int:
+        """XOR mask with exactly :attr:`flip_bits` distinct bits set.
+
+        Bit positions are drawn deterministically without replacement, so
+        the mask is never zero and the corruption never cancels itself.
+        """
+        mask = 0
+        salt = 0
+        bits = 0
+        while bits < self.flip_bits:
+            pos = int(self._u("flipb", op_index, attempt, salt) * 64) % 64
+            salt += 1
+            if not (mask >> pos) & 1:
+                mask |= 1 << pos
+                bits += 1
+        return mask

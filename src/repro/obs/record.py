@@ -88,6 +88,12 @@ __all__ = [
     "K_PLAN_HITS",
     "K_PLAN_MISSES",
     "K_PLAN_EVICTIONS",
+    "K_SDC_INJECTED",
+    "K_SDC_DETECTED",
+    "K_SDC_RECOVERED",
+    "K_CKPT_WRITES",
+    "K_CKPT_BYTES",
+    "K_RESUME_SKIPPED",
 ]
 
 # -- canonical counter keys --------------------------------------------------
@@ -122,6 +128,15 @@ K_POOL_REUSED = "pool.reused"  # warm worker reuses across session.factor calls
 K_PLAN_HITS = "plan.hits"  # PlanCache hits (op DAG + wavefront schedule reused)
 K_PLAN_MISSES = "plan.misses"  # PlanCache misses (schedule derived from scratch)
 K_PLAN_EVICTIONS = "plan.evictions"  # LRU evictions (cached arena destroyed)
+
+# Silent-data-corruption defense and checkpoint/resume events
+# (repro.qr.checksum, repro.qr.persist; docs/robustness.md).
+K_SDC_INJECTED = "sdc.injected"  # bit flips injected by a FaultPlan
+K_SDC_DETECTED = "sdc.detected"  # checksum mismatches caught by the guard
+K_SDC_RECOVERED = "sdc.recovered"  # ops repaired by re-execution
+K_CKPT_WRITES = "ckpt.writes"  # checkpoint archives written
+K_CKPT_BYTES = "ckpt.bytes"  # bytes written into checkpoint archives
+K_RESUME_SKIPPED = "resume.ops_skipped"  # completed ops skipped by a resume
 
 
 @dataclass(frozen=True)

@@ -48,7 +48,7 @@ SMOKE_CONFIG = dict(m=480, n=96, nb=16, ib=8, tree="hier", h=2, procs=2, repeats
 FULL_CONFIG = dict(m=4096, n=512, nb=64, ib=32, tree="hier", h=4, procs=4, repeats=3)
 
 #: Wall-time keys subject to the noise band.
-TIME_KEYS = ("serial_s", "batched_s", "parallel_s", "session_warm_s")
+TIME_KEYS = ("serial_s", "batched_s", "parallel_s", "session_warm_s", "checkpoint_s")
 #: Counter keys that must reproduce exactly.
 COUNTER_KEYS = ("ops.total", "flops.total")
 
@@ -112,7 +112,35 @@ def run_qr_benchmark(
     def run_parallel():
         f[0] = qr_factor(a, **kw, backend="parallel", n_procs=procs)
 
-    parallel_s = best(run_parallel)
+    # Plain vs checkpointed parallel runs, *interleaved* (docs/robustness.md):
+    # the checkpointed run adds a mid-run snapshot every ~half the schedule
+    # plus the final one, and the gate holds their ratio to an absolute
+    # floor — so both minima must sample the same machine-load conditions.
+    # Timing the two in separate loops lets load drift between them read as
+    # checkpoint overhead (or hide it).
+    import tempfile
+
+    from ..qr.persist import CheckpointStore
+
+    run_parallel()  # warm-up (also yields n_ops for the snapshot cadence)
+    n_ops = int(round(f[0].counters["ops.total"]))
+    with tempfile.TemporaryDirectory() as tmp:
+        ck_path = os.path.join(tmp, "bench.ckpt.npz")
+
+        def run_checkpointed():
+            ck = CheckpointStore(ck_path, every_ops=max(1, n_ops // 2))
+            qr_factor(a, **kw, backend="parallel", n_procs=procs, checkpoint=ck)
+
+        plain_times, ckpt_times = [], []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            run_parallel()
+            plain_times.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            run_checkpointed()
+            ckpt_times.append(time.perf_counter() - t0)
+        parallel_s = min(plain_times)
+        checkpoint_s = min(ckpt_times)
 
     # Warm persistent-session calls (docs/sessions.md): one unmeasured cold
     # call pays spawn + plan derivation, then the measured calls reuse the
@@ -135,6 +163,7 @@ def run_qr_benchmark(
             "batched_s": round(batched_s, 6),
             "parallel_s": round(parallel_s, 6),
             "session_warm_s": round(session_warm_s, 6),
+            "checkpoint_s": round(checkpoint_s, 6),
             "parallel_mode": f[0].stats.mode if f[0].stats else "parallel",
         },
         # Rounded so summation-order float noise can't trip the exact-match
@@ -150,6 +179,7 @@ def run_qr_benchmark(
                 if session_warm_s > 0 else None
             ),
             "serial_gflops": round(counters["flops.total"] / serial_s / 1e9, 3),
+            "checkpoint_overhead_s": round(checkpoint_s - parallel_s, 6),
         },
     }
 
@@ -211,7 +241,11 @@ def check_regression(entry: dict, baseline: dict, *, tolerance: float = 0.5) -> 
       one-shot ``qr_factor(backend="parallel")`` on the same config — the
       session exists to amortise spawn/attach and plan derivation, so
       ``session_warm_s > parallel_s`` means the reuse machinery costs more
-      than it saves.
+      than it saves;
+    * a checkpointed parallel run must stay within 15% of the plain
+      parallel run — checkpointing is incremental (dirty tiles only) and
+      off the critical path except for the quiesce, so a larger gap means
+      the snapshot machinery has become the bottleneck.
     """
     problems = []
     serial = entry["measured"].get("serial_s")
@@ -227,6 +261,17 @@ def check_regression(entry: dict, baseline: dict, *, tolerance: float = 0.5) -> 
         problems.append(
             f"warm session call slower than one-shot parallel: {warm:.4f}s "
             f"vs {parallel:.4f}s (amortization {parallel / warm:.2f}x < 1.0x)"
+        )
+    checkpointed = entry["measured"].get("checkpoint_s")
+    if (
+        parallel is not None
+        and checkpointed is not None
+        and checkpointed > parallel * 1.15
+    ):
+        problems.append(
+            f"checkpointing costs more than 15% on top of parallel: "
+            f"{checkpointed:.4f}s vs {parallel:.4f}s "
+            f"({checkpointed / parallel:.2f}x > 1.15x)"
         )
     for key in TIME_KEYS:
         new = entry["measured"].get(key)

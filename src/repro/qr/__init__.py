@@ -1,9 +1,15 @@
 """Tree-based tile QR: operation lists, executors, VSA builders, public API."""
 
 from .api import QRFactorization, lstsq, qr_factor
+from .checksum import SDCGuard, tile_checksum
 from .collector import ResultStore, assemble_factors
 from .costs import make_qr_cost_fn
-from .persist import load_factorization, save_factorization
+from .persist import (
+    CheckpointStore,
+    load_factorization,
+    resume_factorization,
+    save_factorization,
+)
 from .verify import VerificationReport, verify_factorization
 from .domino import build_domino_vsa
 from .ops import FACTOR_KINDS, UPDATE_KINDS, Op, expand_plans
@@ -31,6 +37,10 @@ __all__ = [
     "make_qr_cost_fn",
     "save_factorization",
     "load_factorization",
+    "CheckpointStore",
+    "resume_factorization",
+    "SDCGuard",
+    "tile_checksum",
     "VerificationReport",
     "verify_factorization",
     "QRFactorization",

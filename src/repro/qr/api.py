@@ -102,6 +102,10 @@ class QRFactorization:
         #: The :class:`repro.obs.Recorder` of the run when ``trace=`` was
         #: given to :func:`qr_factor`, else ``None``.
         self.recorder = recorder
+        #: Completed ops skipped because they were restored from a
+        #: checkpoint (:func:`~repro.qr.persist.resume_factorization`);
+        #: ``0`` for a factorization computed from scratch.
+        self.ops_skipped = 0
         self._counters = None
 
     @property
@@ -192,6 +196,7 @@ def qr_factor(
     metrics: str | os.PathLike | None = None,
     fault_plan=None,
     on_failure: str = "raise",
+    checkpoint=None,
     session=None,
 ) -> QRFactorization:
     """Tree-based tile QR factorization of a tall-and-skinny matrix.
@@ -253,6 +258,18 @@ def qr_factor(
     >>> bool(np.array_equal(f4.R, f.R))
     True
 
+    ``checkpoint=`` snapshots progress to disk while the backend runs;
+    :func:`resume_factorization` restarts a killed run from the last
+    snapshot, skipping the ops it already completed, bit-exact with an
+    uninterrupted run (see ``docs/robustness.md``):
+
+    >>> from repro.qr import resume_factorization
+    >>> ck = _os.path.join(tempfile.mkdtemp(), "run.ckpt")
+    >>> f5 = qr_factor(a, nb=4, ib=2, tree="flat", checkpoint=ck)
+    >>> f6 = resume_factorization(ck)  # finished run: all 3 ops skipped
+    >>> bool(np.array_equal(f6.R, f.R)), f6.ops_skipped
+    (True, 3)
+
     Parameters
     ----------
     a:
@@ -302,9 +319,14 @@ def qr_factor(
     fault_plan:
         Optional :class:`~repro.faults.FaultPlan` for chaos testing:
         injects packet loss/duplication/delay into the ``pulsar`` fabric
-        (which then runs its ack/retransmit protocol) and worker crashes
-        into the ``parallel`` backend (which re-dispatches and respawns).
-        Ignored by ``serial``, which has no fabric or workers.
+        (which then runs its ack/retransmit protocol), worker crashes
+        into the ``parallel`` backend (which re-dispatches and respawns),
+        and — via ``flip_rate`` — silent bit flips into kernel outputs on
+        the ``serial``, ``batched``, and ``parallel`` backends, where the
+        checksum guard (:mod:`repro.qr.checksum`) detects each one and
+        re-executes the damaged op (``sdc.*`` counters when tracing).
+        Fabric faults don't apply to ``serial``/``batched``/``parallel``
+        and flips don't apply to ``pulsar``.
     on_failure:
         ``"raise"`` (default) propagates backend failures.
         ``"fallback"`` degrades instead: if the chosen backend fails with
@@ -316,6 +338,16 @@ def qr_factor(
         ``fallback.serial`` counter and a ``fallback`` span.
         Configuration errors always raise — a bad parameter would fail
         serially too.
+    checkpoint:
+        Optional path (or pre-configured
+        :class:`~repro.qr.persist.CheckpointStore`) to snapshot progress
+        into while the factorization runs — the completed-op frontier
+        plus the tiles those ops dirtied, written atomically every N ops
+        or T seconds.  A run that dies mid-DAG (crash, kill, watchdog
+        timeout) restarts from its last snapshot with
+        :func:`~repro.qr.persist.resume_factorization`, bit-exact with an
+        uninterrupted run.  Supported on the ``serial``, ``batched``, and
+        ``parallel`` backends (the pulsar VSA owns its tiles and raises).
     session:
         Optional :class:`repro.QRSession` (see :mod:`repro.qr.session` and
         ``docs/sessions.md``).  The panel plans, op DAG, and wavefront
@@ -372,6 +404,16 @@ def qr_factor(
         raise ConfigurationError(
             f"on_failure must be 'raise' or 'fallback', got {on_failure!r}"
         )
+    ckpt = None
+    if checkpoint is not None:
+        if backend == "pulsar":
+            raise ConfigurationError(
+                "checkpoint= supports the 'serial', 'batched', and "
+                "'parallel' backends; the pulsar VSA owns its tile store"
+            )
+        from .persist import as_checkpoint_store
+
+        ckpt = as_checkpoint_store(checkpoint)
     if session is not None:
         session._check_open()
         if backend == "pulsar":
@@ -391,8 +433,15 @@ def qr_factor(
         plans = plan_all_panels(kind, tm.mt, tm.nt, h=h, shifted=shifted)
         ops = expand_plans(tm.layout, plans)
     # Degradation needs a pristine input: the pulsar build hands tiles to
-    # the VSA, so snapshot before any backend touches them.
-    pristine = tm.copy() if on_failure == "fallback" and backend != "serial" else None
+    # the VSA, so snapshot before any backend touches them.  Serial only
+    # needs one when the SDC guard is armed (SilentCorruptionError is the
+    # sole serial failure mode on valid parameters).
+    sdc_armed = fault_plan is not None and fault_plan.faulty_sdc
+    pristine = (
+        tm.copy()
+        if on_failure == "fallback" and (backend != "serial" or sdc_armed)
+        else None
+    )
 
     # The recording window covers only the backend execution: factor
     # assembly and any later apply_q/solve calls stay out of the evidence.
@@ -409,10 +458,14 @@ def qr_factor(
             if session is not None:
                 entry = session._plan_entry(kind, tm, ib=ib, h=h, shifted=shifted)
                 plans, ops = entry.plans, entry.ops
+            if ckpt is not None:
+                ckpt.bind(tm, ops, ib, kind.value, h, shifted)
             if backend == "serial":
                 if recorder is not None:
                     recorder.name_lane(0, "serial")
-                factors = execute_ops(tm, ops, ib)
+                factors = execute_ops(
+                    tm, ops, ib, fault_plan=fault_plan, checkpoint=ckpt
+                )
                 stats = None
             elif backend == "batched":
                 from .wavefront import execute_ops_batched
@@ -420,20 +473,21 @@ def qr_factor(
                 factors = execute_ops_batched(
                     tm, ops, ib,
                     wavefronts=None if entry is None else entry.wavefronts(),
+                    fault_plan=fault_plan, checkpoint=ckpt,
                 )
                 stats = None
             elif backend == "parallel":
                 if entry is not None:
                     factors, stats = session._execute_parallel(
                         tm, ops, ib, entry, policy=policy, batch=batch,
-                        fault_plan=fault_plan,
+                        fault_plan=fault_plan, checkpoint=ckpt,
                     )
                 else:
                     from .parallel import execute_ops_parallel
 
                     factors, stats = execute_ops_parallel(
                         tm, ops, ib, n_procs=n_procs, policy=policy,
-                        batch=batch, fault_plan=fault_plan,
+                        batch=batch, fault_plan=fault_plan, checkpoint=ckpt,
                     )
             else:  # pulsar
                 from .collector import assemble_factors

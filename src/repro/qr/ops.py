@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from ..tiles.layout import TileLayout
 from ..trees.plan import PanelPlan
 
-__all__ = ["Op", "FACTOR_KINDS", "UPDATE_KINDS", "expand_plans"]
+__all__ = ["Op", "FACTOR_KINDS", "UPDATE_KINDS", "expand_plans", "operand_views"]
 
 #: Kernels that compute new reflectors (panel work).
 FACTOR_KINDS = ("GEQRT", "TSQRT", "TTQRT")
@@ -96,6 +96,37 @@ class Op:
         if self.l >= 0:
             tail += f",l={self.l}"
         return f"{self.kind}({','.join(parts)}{tail})"
+
+
+def operand_views(a, op: Op):
+    """Per-op operand views: ``(inputs_read, inouts_written)`` tile sub-blocks.
+
+    ``a`` is anything with a ``tile(i, j) -> ndarray`` accessor (a
+    :class:`~repro.tiles.matrix.TileMatrix` or a
+    :class:`~repro.tiles.shared.SharedTileStore`).  The *written* views
+    cover exactly the storage regions the op's kernel mutates — the unit
+    the wavefront executor gathers/scatters and the SDC guard
+    (:mod:`repro.qr.checksum`) snapshots, checksums, and corrupts.
+    """
+    if op.kind == "GEQRT":
+        return (), (a.tile(op.i, op.j),)
+    if op.kind == "ORMQR":
+        return (a.tile(op.i, op.j),), (a.tile(op.i, op.l),)
+    if op.kind == "TSQRT":
+        return (), (a.tile(op.i, op.j)[: op.k, : op.k], a.tile(op.k2, op.j))
+    if op.kind == "TSMQR":
+        return (a.tile(op.k2, op.j),), (a.tile(op.i, op.l), a.tile(op.k2, op.l))
+    if op.kind == "TTQRT":
+        return (), (
+            a.tile(op.i, op.j)[: op.k, : op.k],
+            a.tile(op.k2, op.j)[: op.m2, : op.k],
+        )
+    if op.kind == "TTMQR":
+        return (a.tile(op.k2, op.j)[: op.m2, : op.k],), (
+            a.tile(op.i, op.l),
+            a.tile(op.k2, op.l)[: op.m2, :],
+        )
+    raise ValueError(f"unknown op kind {op.kind!r}")  # pragma: no cover
 
 
 def expand_plans(layout: TileLayout, plans: list[PanelPlan]) -> list[Op]:

@@ -87,15 +87,20 @@ from ..obs.record import (
     K_FALLBACK_SERIAL,
     K_FAULT_CRASH,
     K_REDISPATCH_OPS,
+    K_SDC_DETECTED,
+    K_SDC_INJECTED,
+    K_SDC_RECOVERED,
     K_WORKER_DEAD,
     K_WORKER_RESTART,
 )
 from ..tiles.layout import TileLayout
 from ..tiles.matrix import TileMatrix
+from ..tiles.shared import t_factor_key
 from ..util.errors import ConfigurationError, ParallelExecutionError
 from ..util.validation import check_nonnegative_int, check_positive_int, require
+from .checksum import SDCGuard
 from .dag import op_dependency_graph
-from .ops import Op
+from .ops import Op, operand_views
 from .reference import FactorRecord, TileQRFactors, execute_ops
 from .wavefront import _gather, _operand_views, compute_wavefronts
 
@@ -144,6 +149,12 @@ class ParallelRunStats:
     workers_died: int = 0
     workers_respawned: int = 0
     ops_redispatched: int = 0
+    # Silent-data-corruption evidence, aggregated from worker-side
+    # :class:`~repro.qr.checksum.SDCGuard` deltas (zero without a
+    # ``flip_rate`` fault plan).
+    sdc_injected: int = 0
+    sdc_detected: int = 0
+    sdc_recovered: int = 0
 
     @property
     def tasks_per_s(self) -> float:
@@ -200,7 +211,19 @@ def _execute_op(store, op: Op, ib: int) -> None:
         raise ValueError(f"unknown op kind {op.kind!r}")
 
 
-def _execute_group(store, ops: list[Op], idxs: list[int], ib: int, flags) -> None:
+def _run_worker_op(store, ops: list[Op], idx: int, ib: int, guard) -> None:
+    """One scalar op, optionally under the SDC checksum guard."""
+    if guard is None:
+        _execute_op(store, ops[idx], ib)
+    else:
+        guard.execute(
+            idx, list(operand_views(store, ops[idx])[1]),
+            lambda: _execute_op(store, ops[idx], ib),
+        )
+
+
+def _execute_group(store, ops: list[Op], idxs: list[int], ib: int, flags,
+                   guard=None) -> None:
     """Run one wavefront slice on shared tiles as a single stacked call.
 
     ``idxs`` are same-kind, same-shape ops of one wavefront (pairwise
@@ -208,28 +231,32 @@ def _execute_group(store, ops: list[Op], idxs: list[int], ib: int, flags) -> Non
     and calling :mod:`repro.kernels.batched` once is bit-identical to
     running them one at a time.  The PR 3 idempotency protocol is
     preserved per op: each op's completion flag is set right after *its*
-    slice of the results is scattered back, and a re-dispatched slice
-    whose flags are partially set falls back to per-op scalar execution
-    of the unflagged ops — tile-disjointness makes that safe, and the
-    scalar kernels are bit-identical to the batched ones.
+    slice of the results is scattered back (and, when the SDC ``guard``
+    is armed, only after its output checksum verified — so a flag never
+    endorses a corrupted tile), and a re-dispatched slice whose flags are
+    partially set falls back to per-op scalar execution of the unflagged
+    ops — tile-disjointness makes that safe, and the scalar kernels are
+    bit-identical to the batched ones.
     """
     pend = [i for i in idxs if not flags[i]]
     if len(pend) < 2 or len(pend) != len(idxs):
         for i in pend:
-            _execute_op(store, ops[i], ib)
+            _run_worker_op(store, ops, i, ib, guard)
             flags[i] = 1
         return
     kind = ops[idxs[0]].kind
     views = [_operand_views(store, ops[i]) for i in idxs]
     reads = [v[0] for v in views]
     writes = [v[1] for v in views]
+    snapshots = None
+    if guard is not None:
+        snapshots = [[w.copy() for w in v[1]] for v in views]
     if kind == "GEQRT":
         stack = _gather([w[0] for w in writes])
         t = _bk.geqrt_batched(stack, ib)
         for b, i in enumerate(idxs):
             writes[b][0][...] = stack[b]
             store.t_factor(("G", ops[i].i, ops[i].j))[...] = t[b]
-            flags[i] = 1
     elif kind == "ORMQR":
         v = _gather([r[0] for r in reads])
         tstack = np.stack([store.t_factor(("G", ops[i].i, ops[i].j)) for i in idxs])
@@ -237,7 +264,6 @@ def _execute_group(store, ops: list[Op], idxs: list[int], ib: int, flags) -> Non
         _bk.ormqr_batched(v, tstack, c)
         for b, i in enumerate(idxs):
             writes[b][0][...] = c[b]
-            flags[i] = 1
     elif kind in ("TSQRT", "TTQRT"):
         r1 = _gather([w[0] for w in writes])
         r2 = _gather([w[1] for w in writes])
@@ -247,7 +273,6 @@ def _execute_group(store, ops: list[Op], idxs: list[int], ib: int, flags) -> Non
             writes[b][0][...] = r1[b]
             writes[b][1][...] = r2[b]
             store.t_factor(("E", ops[i].k2, ops[i].j))[...] = t[b]
-            flags[i] = 1
     else:  # TSMQR / TTMQR
         v = _gather([r[0] for r in reads])
         tstack = np.stack([store.t_factor(("E", ops[i].k2, ops[i].j)) for i in idxs])
@@ -258,7 +283,13 @@ def _execute_group(store, ops: list[Op], idxs: list[int], ib: int, flags) -> Non
         for b, i in enumerate(idxs):
             writes[b][0][...] = c1[b]
             writes[b][1][...] = c2[b]
-            flags[i] = 1
+    for b, i in enumerate(idxs):
+        if guard is not None:
+            guard.postcheck(
+                i, list(views[b][1]), snapshots[b],
+                lambda i=i: _execute_op(store, ops[i], ib), None,
+            )
+        flags[i] = 1
 
 
 def _serve_job(store, flags, ops: list[Op], ib: int, fault_plan, rank: int,
@@ -284,6 +315,8 @@ def _serve_job(store, flags, ops: list[Op], ib: int, fault_plan, rank: int,
     the string ``"err"`` after an execution error was reported.
     """
     crashy = fault_plan is not None and fault_plan.faulty_workers
+    guard = (SDCGuard(fault_plan)
+             if fault_plan is not None and fault_plan.faulty_sdc else None)
     ops_done = 0
     while True:
         batch = conn.recv()
@@ -306,7 +339,7 @@ def _serve_job(store, flags, ops: list[Op], ib: int, fault_plan, rank: int,
                 os._exit(_CRASH_EXIT_CODE)
             t0 = time.perf_counter()
             try:
-                _execute_group(store, ops, idxs, ib, flags)
+                _execute_group(store, ops, idxs, ib, flags, guard)
             except BaseException:
                 conn.send(("err", rank, idxs[0], traceback.format_exc()))
                 return "err"
@@ -318,6 +351,7 @@ def _serve_job(store, flags, ops: list[Op], ib: int, fault_plan, rank: int,
                 rank,
                 [(i, t0 + b * width, t0 + (b + 1) * width)
                  for b, i in enumerate(idxs)],
+                guard.take_delta() if guard is not None else None,
             ))
             continue
         done: list[tuple[int, float, float]] = []
@@ -327,14 +361,15 @@ def _serve_job(store, flags, ops: list[Op], ib: int, fault_plan, rank: int,
             t0 = time.perf_counter()
             if not flags[idx]:
                 try:
-                    _execute_op(store, ops[idx], ib)
+                    _run_worker_op(store, ops, idx, ib, guard)
                 except BaseException:
                     conn.send(("err", rank, idx, traceback.format_exc()))
                     return "err"
                 flags[idx] = 1
             ops_done += 1
             done.append((idx, t0, time.perf_counter()))
-        conn.send(("done", rank, done))
+        conn.send(("done", rank, done,
+                   guard.take_delta() if guard is not None else None))
 
 
 def _worker_main(
@@ -452,17 +487,25 @@ def _auto_batch(n_ops: int, n_procs: int) -> int:
     return max(1, min(8, n_ops // (n_procs * 8)))
 
 
-def _fallback(a: TileMatrix, ops: list[Op], ib: int, reason: str, policy: str):
+def _fallback(a: TileMatrix, ops: list[Op], ib: int, reason: str, policy: str,
+              *, checkpoint=None, skip=None, preloaded_ts=None):
     """Serial-reference degradation: same factors, reason on the record.
 
     The reason is never silent: it lands in ``stats.fallback_reason`` /
     ``stats.mode`` and, when a recorder is installed, on the
     ``fallback.serial`` counter and a ``fallback`` span whose args carry
     the reason — so a trace shows *that* and *why* the run degraded.
+
+    ``checkpoint`` / ``skip`` / ``preloaded_ts`` pass through to the
+    serial executor so a degraded run keeps snapshotting and — crucially
+    on the resume path — never re-executes ops whose writes are already
+    in the tiles (a QR kernel is destructive; re-running a completed
+    factor op would corrupt the result).
     """
     rec = _obs_record._RECORDER
     t0 = time.perf_counter()
-    factors = execute_ops(a, ops, ib)
+    factors = execute_ops(a, ops, ib, checkpoint=checkpoint, skip=skip,
+                          preloaded_ts=preloaded_ts)
     elapsed = time.perf_counter() - t0
     if rec is not None:
         rec.count(K_FALLBACK_SERIAL)
@@ -501,6 +544,9 @@ def execute_ops_parallel(
     wavefronts=None,
     pool=None,
     arena=None,
+    checkpoint=None,
+    completed_ops=None,
+    preloaded_ts=None,
 ) -> tuple[TileQRFactors, ParallelRunStats]:
     """Run an operation list on ``a`` across worker processes.
 
@@ -561,6 +607,23 @@ def execute_ops_parallel(
         loaded ``a`` into it, and it survives this call for reuse.  Both
         default to ``None`` — the one-shot create/spawn/teardown
         lifecycle — and must be given (or omitted) together.
+    checkpoint:
+        Optional bound :class:`~repro.qr.persist.CheckpointStore`.  When
+        a snapshot falls due the dispatcher *quiesces* — stops handing
+        out work and drains in-flight ops to zero — so the completion
+        flags describe a consistent, predecessor-closed frontier, writes
+        the snapshot from the shared store, and resumes dispatching.  The
+        done mask is taken from the shared completion flags, not the
+        parent's report ledger: the flags are the authoritative record of
+        which ops' tile mutations happened (a worker can die after
+        flagging but before reporting).
+    completed_ops, preloaded_ts:
+        Resume support (:func:`~repro.qr.persist.resume_factorization`):
+        op indices whose writes are already present in ``a``'s tiles, and
+        the ``T`` factors (op index -> array) of the completed factor
+        ops.  Completed ops are pre-flagged, pre-counted, and excluded
+        from dispatch; their ``T`` arrays are loaded into the shared
+        store's slots so successors read them as if computed this run.
     """
     require(a.m >= a.n, f"tile QR requires m >= n, got {a.m} x {a.n}")
     require(policy in _POLICIES, f"policy must be one of {_POLICIES}, got {policy!r}")
@@ -578,8 +641,14 @@ def execute_ops_parallel(
                 f"batch must be a positive int or 'wavefront', got {batch!r}"
             )
         check_positive_int(batch, "batch")
+    completed_set = (
+        frozenset() if completed_ops is None
+        else frozenset(int(i) for i in completed_ops)
+    )
     if n_procs == 1:
-        return _fallback(a.copy(), ops, ib, "n_procs=1", policy)
+        return _fallback(a.copy(), ops, ib, "n_procs=1", policy,
+                         checkpoint=checkpoint, skip=completed_set or None,
+                         preloaded_ts=preloaded_ts)
     require((pool is None) == (arena is None),
             "pool and arena must be given together (or both omitted)")
 
@@ -595,18 +664,32 @@ def execute_ops_parallel(
             store = SharedTileStore.create(a, ops, ib)
         except (ImportError, OSError) as exc:
             return _fallback(
-                a.copy(), ops, ib, f"shared memory unavailable: {exc}", policy
+                a.copy(), ops, ib, f"shared memory unavailable: {exc}", policy,
+                checkpoint=checkpoint, skip=completed_set or None,
+                preloaded_ts=preloaded_ts,
             )
         # One completion-flag byte per op (the enforced-idempotency ledger,
         # see module docstring).  Created zeroed; workers set flag[idx]
         # after op idx's tile mutations.
         flags_shm = shared_memory.SharedMemory(create=True, size=max(len(ops), 1))
         flags_shm.buf[: len(flags_shm.buf)] = bytes(len(flags_shm.buf))
+    flags_view = np.frombuffer(flags_shm.buf, dtype=np.uint8)[: len(ops)]
+    for idx in completed_set:
+        # Resume: the op's writes are already in the tiles (loaded from the
+        # checkpoint) — pre-flag it so a worker never re-applies it, and
+        # restore its T factor so successors can read it.
+        flags_view[idx] = 1
+        op = ops[idx]
+        if op.is_factor and preloaded_ts is not None and idx in preloaded_ts:
+            store.t_factor(t_factor_key(op))[...] = preloaded_ts[idx]
 
     if graph is None:
         graph = op_dependency_graph(ops)
     deps_left = graph.n_deps.copy()
     succ_index, succ_task = graph.succ_index, graph.succ_task
+    for idx in completed_set:
+        for e in range(succ_index[idx], succ_index[idx + 1]):
+            deps_left[int(succ_task[e])] -= 1
 
     # Wavefront mode: pre-partition the op list into same-kind, same-shape
     # groups (one stacked kernel call each), split so a single wide
@@ -623,6 +706,8 @@ def execute_ops_parallel(
         for wf in wavefronts:
             by_key: dict[tuple, list[int]] = {}
             for idx in wf:
+                if idx in completed_set:
+                    continue  # resume: already executed, nothing to group
                 r, w = _operand_views(a, ops[idx])
                 key = (ops[idx].kind,) + tuple(v.shape for v in r + w)
                 by_key.setdefault(key, []).append(idx)
@@ -712,14 +797,17 @@ def execute_ops_parallel(
                 ready.push(idx)
 
         for idx in range(len(ops)):
-            if deps_left[idx] == 0:
+            if deps_left[idx] == 0 and idx not in completed_set:
                 op_ready(idx)
         alive = set(range(n_procs))
         idle = list(range(n_procs - 1, -1, -1))  # pop() yields rank 0 first
         inflight_of: dict[int, set[int]] = {w: set() for w in range(n_procs)}
         attempts = [0] * len(ops)
         respawns_used = 0
-        completed = 0
+        completed = len(completed_set)
+        # Checkpoint quiesce state: when a snapshot falls due, stop
+        # dispatching and let in-flight work drain before writing.
+        draining = False
 
         if rec is not None:
             # Live dispatcher state for the metrics sampler (vocabulary in
@@ -755,8 +843,21 @@ def execute_ops_parallel(
                         worker=w,
                     )
                 return
-            _, _, done = msg
+            done = msg[2]
+            sdc = msg[3] if len(msg) > 3 else None
+            if sdc is not None:
+                inj, det, rcv = sdc
+                stats.sdc_injected += inj
+                stats.sdc_detected += det
+                stats.sdc_recovered += rcv
+                if rec is not None:
+                    for key, n in ((K_SDC_INJECTED, inj), (K_SDC_DETECTED, det),
+                                   (K_SDC_RECOVERED, rcv)):
+                        if n:
+                            rec.count(key, n)
             completed += len(done)
+            if checkpoint is not None:
+                checkpoint.note_done(len(done))
             stats.per_worker_ops[w] = stats.per_worker_ops.get(w, 0) + len(done)
             for idx, op_t0, op_t1 in done:
                 if w in inflight_of:
@@ -893,6 +994,19 @@ def execute_ops_parallel(
         wd = Watchdog(timeout_s, what="parallel dispatcher", report=_stall_report)
         dispatch()
         while completed < len(ops):
+            if checkpoint is not None and not draining and checkpoint.due():
+                draining = True
+            if draining and not any(inflight_of.get(w) for w in alive):
+                # Quiesced: no op is mid-execution, so the completion flags
+                # are a consistent, predecessor-closed frontier.  Capture
+                # (cheap memcpys into parent-owned buffers) under the
+                # quiesce, resume dispatching immediately, and let the
+                # serialize-fsync-replace overlap with worker execution.
+                checkpoint.capture(store, store.t_factor,
+                                   flags_view.astype(bool))
+                draining = False
+                dispatch()
+                checkpoint.flush()
             if not len(ready) and not any(inflight_of.get(w) for w in alive):
                 raise ParallelExecutionError(
                     f"dispatcher stalled: {completed}/{len(ops)} ops done, "
@@ -927,7 +1041,8 @@ def execute_ops_parallel(
             wd.note_progress(
                 (completed, stats.workers_died, stats.workers_respawned)
             )
-            dispatch()
+            if not draining:
+                dispatch()
             stats.dispatch_s += time.perf_counter() - t0
 
         if pool is not None:
@@ -947,11 +1062,18 @@ def execute_ops_parallel(
             for p in procs.values():
                 p.join(timeout=10.0)
         stats.elapsed_s = time.perf_counter() - t_run
+        if checkpoint is not None:
+            # Final snapshot: all flags set, so a resume from this archive
+            # skips every op (and the file doubles as a completion marker).
+            checkpoint.write(store, store.t_factor, flags_view.astype(bool))
 
         factored = store.extract_matrix()
         ts = store.extract_ts()
         success = True
     finally:
+        # Release the numpy view before closing the segment: an exported
+        # buffer pointer would make SharedMemory.close() raise BufferError.
+        flags_view = None
         if rec is not None:
             for g in (
                 "parallel.ready_ops", "parallel.inflight_ops",

@@ -474,22 +474,24 @@ class QRSession:
         return self.plan_cache.lookup(key, build)
 
     def _execute_parallel(self, tm, ops, ib, entry, *, policy, batch,
-                          fault_plan):
+                          fault_plan, checkpoint=None):
         """Run the parallel backend against the session's pool and arena."""
         from .parallel import _fallback, execute_ops_parallel
 
         if self._pool is None or len(ops) <= 1:
-            return _fallback(tm.copy(), ops, ib, "n_procs=1", policy)
+            return _fallback(tm.copy(), ops, ib, "n_procs=1", policy,
+                             checkpoint=checkpoint)
         try:
             arena = entry.arena_for(tm, ib)
         except (ImportError, OSError) as exc:
             return _fallback(
-                tm.copy(), ops, ib, f"shared memory unavailable: {exc}", policy
+                tm.copy(), ops, ib, f"shared memory unavailable: {exc}", policy,
+                checkpoint=checkpoint,
             )
         arena.load(tm)
         return execute_ops_parallel(
             tm, ops, ib, n_procs=self.n_procs, policy=policy, batch=batch,
             fault_plan=fault_plan, graph=entry.graph(),
             wavefronts=entry.wavefronts() if batch == "wavefront" else None,
-            pool=self._pool, arena=arena,
+            pool=self._pool, arena=arena, checkpoint=checkpoint,
         )

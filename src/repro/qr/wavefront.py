@@ -34,16 +34,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from .. import kernels as _K
 from ..kernels import batched as _bk
 from ..kernels.flops import kernel_flops
 from ..obs import record as _obs_record
 from ..obs.adapters import KERNEL_CATEGORY as _KERNEL_CATEGORY
 from ..tiles.matrix import TileMatrix
+from ..tiles.shared import t_factor_key
 from ..util.validation import require
+from .checksum import SDCGuard
 from .dag import op_dependency_graph
-from .ops import Op
-from .reference import FactorRecord, TileQRFactors
+from .ops import Op, operand_views
+from .reference import FactorRecord, TileQRFactors, _apply_op
 
 __all__ = ["compute_wavefronts", "op_levels", "execute_ops_batched", "wavefront_stats"]
 
@@ -162,7 +163,8 @@ def _signature(op: Op) -> tuple:
 
 
 def execute_ops_batched(
-    a: TileMatrix, ops: list[Op], ib: int, *, wavefronts=None
+    a: TileMatrix, ops: list[Op], ib: int, *, wavefronts=None,
+    fault_plan=None, checkpoint=None, skip=None, preloaded_ts=None,
 ) -> TileQRFactors:
     """Run an operation list on ``a`` (in place) with wavefront batching.
 
@@ -175,7 +177,11 @@ def execute_ops_batched(
 
     ``wavefronts`` accepts a precomputed partition of *exactly these*
     ``ops`` (a :class:`~repro.qr.session.PlanCache` passes its memoized
-    one); the default ``None`` computes it here.
+    one); the default ``None`` computes it here.  ``fault_plan`` /
+    ``checkpoint`` / ``skip`` / ``preloaded_ts`` have the same semantics
+    as on :func:`~repro.qr.reference.execute_ops`: arm the SDC checksum
+    guard, snapshot progress, and (on resume) trust already-executed ops'
+    tile state, taking their ``T`` factors from ``preloaded_ts``.
     """
     require(a.m >= a.n, f"tile QR requires m >= n, got {a.m} x {a.n}")
     factors = TileQRFactors(a=a, ib=ib)
@@ -183,6 +189,18 @@ def execute_ops_batched(
     # Factor t-arrays land here keyed by op index; records are emitted in
     # program order at the end.
     t_of: dict[int, np.ndarray] = {}
+    skip = frozenset() if skip is None else frozenset(skip)
+    if preloaded_ts:
+        for idx in skip:
+            if idx in preloaded_ts:
+                t_of[idx] = preloaded_ts[idx]
+                ts[t_factor_key(ops[idx])] = preloaded_ts[idx]
+    guard = (SDCGuard(fault_plan)
+             if fault_plan is not None and fault_plan.faulty_sdc else None)
+    done = np.zeros(len(ops), dtype=bool) if checkpoint is not None else None
+    if done is not None:
+        for idx in skip:
+            done[idx] = True
     if wavefronts is None:
         wavefronts = compute_wavefronts(ops)
     rec = _obs_record._RECORDER
@@ -198,7 +216,10 @@ def execute_ops_batched(
             groups: dict[tuple, list[int]] = {}
             views: dict[int, tuple] = {}
             for idx in wf:
-                r, w = _operand_views(a, ops[idx])
+                if idx in skip:
+                    progress[0] += 1
+                    continue
+                r, w = operand_views(a, ops[idx])
                 views[idx] = (r, w)
                 key = (ops[idx].kind,) + tuple(v.shape for v in r + w)
                 groups.setdefault(key, []).append(idx)
@@ -207,10 +228,20 @@ def execute_ops_batched(
                     # Singleton groups skip the gather/scatter machinery and
                     # run the (instrumented) scalar kernel on the views
                     # directly — trivially bit-identical to serial.
-                    _run_single(a, ops[members[0]], members[0], ib, ts, t_of, rec)
+                    _run_single(a, ops[members[0]], members[0], ib, ts, t_of,
+                                rec, guard, views[members[0]][1])
                 else:
-                    _run_group(a, ops, members, ib, ts, t_of, rec, views)
+                    _run_group(a, ops, members, ib, ts, t_of, rec, views, guard)
                 progress[0] += len(members)
+                if done is not None:
+                    # A mid-wavefront done-set is still predecessor-closed:
+                    # every DAG predecessor sits in a strictly earlier level.
+                    done[members] = True
+                    checkpoint.note_done(len(members))
+                    if checkpoint.due():
+                        checkpoint.write(a, ts.__getitem__, done)
+        if done is not None:
+            checkpoint.write(a, ts.__getitem__, done)
     finally:
         if rec is not None:
             rec.unregister_gauge("batched.ops_done")
@@ -244,71 +275,39 @@ def _scatter(views: list[np.ndarray], stack: np.ndarray) -> None:
         v[...] = stack[b]
 
 
-def _operand_views(a: TileMatrix, op: Op):
-    """Per-op operand views: (inputs_read, inouts_written) tile sub-blocks."""
-    if op.kind == "GEQRT":
-        return (), (a.tile(op.i, op.j),)
-    if op.kind == "ORMQR":
-        return (a.tile(op.i, op.j),), (a.tile(op.i, op.l),)
-    if op.kind == "TSQRT":
-        return (), (a.tile(op.i, op.j)[: op.k, : op.k], a.tile(op.k2, op.j))
-    if op.kind == "TSMQR":
-        return (a.tile(op.k2, op.j),), (a.tile(op.i, op.l), a.tile(op.k2, op.l))
-    if op.kind == "TTQRT":
-        return (), (
-            a.tile(op.i, op.j)[: op.k, : op.k],
-            a.tile(op.k2, op.j)[: op.m2, : op.k],
-        )
-    if op.kind == "TTMQR":
-        return (a.tile(op.k2, op.j)[: op.m2, : op.k],), (
-            a.tile(op.i, op.l),
-            a.tile(op.k2, op.l)[: op.m2, :],
-        )
-    raise ValueError(f"unknown op kind {op.kind!r}")  # pragma: no cover
+# Kept as an alias for external callers (the parallel dispatcher imports
+# it); the implementation moved to :func:`repro.qr.ops.operand_views` so
+# the SDC guard and the shared-memory workers can reuse it.
+_operand_views = operand_views
 
 
-def _run_single(a, op: Op, idx: int, ib, ts, t_of, rec) -> None:
+def _run_single(a, op: Op, idx: int, ib, ts, t_of, rec, guard=None,
+                writes=None) -> None:
     """Run one op through the scalar kernels (same code path as serial)."""
     if rec is not None:
         _obs_record.set_current_op(idx)
-    if op.kind == "GEQRT":
-        t = _K.geqrt(a.tile(op.i, op.j), ib)
-        ts[("G", op.i, op.j)] = t
+    if guard is None:
+        t = _apply_op(a, op, ib, ts)
+    else:
+        t = guard.execute(idx, list(writes), lambda: _apply_op(a, op, ib, ts))
+    if t is not None:
         t_of[idx] = t
-    elif op.kind == "ORMQR":
-        _K.ormqr(a.tile(op.i, op.j), ts[("G", op.i, op.j)], a.tile(op.i, op.l))
-    elif op.kind == "TSQRT":
-        r = a.tile(op.i, op.j)[: op.k, : op.k]
-        t = _K.tsqrt(r, a.tile(op.k2, op.j), ib)
-        ts[("E", op.k2, op.j)] = t
-        t_of[idx] = t
-    elif op.kind == "TSMQR":
-        _K.tsmqr(
-            a.tile(op.k2, op.j),
-            ts[("E", op.k2, op.j)],
-            a.tile(op.i, op.l),
-            a.tile(op.k2, op.l),
-        )
-    elif op.kind == "TTQRT":
-        r1 = a.tile(op.i, op.j)[: op.k, : op.k]
-        r2 = a.tile(op.k2, op.j)[: op.m2, : op.k]
-        t = _K.ttqrt(r1, r2, ib)
-        ts[("E", op.k2, op.j)] = t
-        t_of[idx] = t
-    else:  # TTMQR
-        v2 = a.tile(op.k2, op.j)[: op.m2, : op.k]
-        c2 = a.tile(op.k2, op.l)[: op.m2, :]
-        _K.ttmqr(v2, ts[("E", op.k2, op.j)], a.tile(op.i, op.l), c2)
     if rec is not None:
         rec.count(_obs_record.K_BATCH_CALLS)
         rec.count(_obs_record.K_BATCH_OPS)
 
 
-def _run_group(a, ops, members, ib, ts, t_of, rec, views) -> None:
+def _run_group(a, ops, members, ib, ts, t_of, rec, views, guard=None) -> None:
     """Execute one same-signature group as a single stacked kernel call."""
     kind = ops[members[0]].kind
     reads = [views[idx][0] for idx in members]
     writes = [views[idx][1] for idx in members]
+    snapshots = None
+    if guard is not None:
+        # Snapshot every member's written regions before the stacked call,
+        # so a checksum mismatch can restore just that member and re-run it
+        # through the (bit-identical) scalar kernels.
+        snapshots = {idx: [w.copy() for w in views[idx][1]] for idx in members}
     start = rec.now() if rec is not None else 0.0
 
     if kind == "GEQRT":
@@ -345,6 +344,18 @@ def _run_group(a, ops, members, ib, ts, t_of, rec, views) -> None:
         fn(v, tstack, c1, c2)
         _scatter([w[0] for w in writes], c1)
         _scatter([w[1] for w in writes], c2)
+
+    if guard is not None:
+        for idx in members:
+            op = ops[idx]
+            t = guard.postcheck(
+                idx, list(views[idx][1]), snapshots[idx],
+                lambda op=op: _apply_op(a, op, ib, ts),
+                t_of.get(idx),
+            )
+            if t is not None:
+                ts[t_factor_key(op)] = t
+                t_of[idx] = t
 
     if rec is not None:
         _record_group(rec, ops, members, ib, start, rec.now())

@@ -23,6 +23,7 @@ __all__ = [
     "SimulationError",
     "DeadlockError",
     "ParallelExecutionError",
+    "SilentCorruptionError",
     "WatchdogTimeout",
     "RetryExhaustedError",
     "TraceError",
@@ -87,6 +88,17 @@ class DeadlockError(SimulationError):
 
 class ParallelExecutionError(ReproError):
     """A worker process of the parallel backend failed or disappeared."""
+
+
+class SilentCorruptionError(ReproError):
+    """A tile checksum mismatched and recomputation could not repair it.
+
+    Raised by the SDC guard (:mod:`repro.qr.checksum`) only after the op
+    has been re-executed from its inputs twice and the checksums still
+    disagree — i.e. the corruption is not transient.  A :class:`ReproError`
+    subclass, so ``qr_factor(..., on_failure="fallback")`` degrades to a
+    clean serial re-run instead of surfacing it.
+    """
 
 
 class WatchdogTimeout(ReproError, TimeoutError):

@@ -444,3 +444,133 @@ class TestChaosOverheadDisabled:
         assert not st.reliable
         assert st.retransmits == st.dup_suppressed == 0
         assert st.faults_dropped == st.faults_duplicated == st.faults_delayed == 0
+
+
+class TestSilentDataCorruption:
+    """Bit-flip injection + ABFT checksum detection (docs/robustness.md)."""
+
+    def test_flip_schedule_deterministic_and_op_keyed(self):
+        plan = FaultPlan(seed=21, flip_rate=0.3)
+        clone = pickle.loads(pickle.dumps(plan))
+        decisions = [plan.flip(i) for i in range(200)]
+        assert decisions == [clone.flip(i) for i in range(200)]
+        assert 0.15 < sum(decisions) / 200 < 0.45
+        # Attempts past flip_attempts are never corrupted (re-execution of
+        # a flipped op must be able to produce the clean answer).
+        assert not any(plan.flip(i, attempt=1) for i in range(200))
+
+    def test_flip_mask_has_exactly_flip_bits_set(self):
+        plan = FaultPlan(seed=3, flip_rate=0.9, flip_bits=5)
+        for idx in range(32):
+            assert bin(plan.flip_mask(idx, 0)).count("1") == 5
+
+    def test_sdc_validation(self):
+        with pytest.raises(ConfigurationError, match="flip_rate"):
+            FaultPlan(flip_rate=1.5)
+        with pytest.raises(ConfigurationError, match="flip_rate"):
+            FaultPlan(flip_rate=-0.1)
+        with pytest.raises(ConfigurationError, match="flip_bits"):
+            FaultPlan(flip_rate=0.1, flip_bits=0)
+        with pytest.raises(ConfigurationError, match="flip_bits"):
+            FaultPlan(flip_rate=0.1, flip_bits=65)
+        with pytest.raises(ConfigurationError, match="flip_attempts"):
+            FaultPlan(flip_rate=0.1, flip_attempts=0)
+
+    def test_tile_checksum_catches_single_bit_flip_in_tiny_values(self):
+        from repro.qr.checksum import checksums_match, tile_checksum
+
+        # Bit-pattern (uint64) column sums: a flip in an element of
+        # magnitude 1e-300 next to values of magnitude 1e10 still changes
+        # the checksum — a float column sum would round it away.
+        tile = np.full((8, 8), 1e10)
+        tile[3, 4] = 1e-300
+        before = tile_checksum(tile)
+        buf = np.array([tile[3, 4]])
+        buf.view(np.uint64)[0] ^= np.uint64(1)
+        tile[3, 4] = buf[0]
+        assert not checksums_match(tile_checksum(tile), before)
+
+    @pytest.mark.parametrize("backend", ["serial", "batched"])
+    def test_every_flip_detected_and_repaired(self, small_matrix, backend):
+        from repro.obs import recording
+        from repro.obs.record import (
+            K_SDC_DETECTED,
+            K_SDC_INJECTED,
+            K_SDC_RECOVERED,
+        )
+
+        clean = qr_factor(small_matrix, nb=8, ib=4, tree="hier", h=3)
+        plan = FaultPlan(seed=17, flip_rate=0.25)
+        with recording() as rec:
+            f = qr_factor(
+                small_matrix, nb=8, ib=4, tree="hier", h=3,
+                backend=backend, fault_plan=plan,
+            )
+        inj = rec.counters.get(K_SDC_INJECTED, 0)
+        det = rec.counters.get(K_SDC_DETECTED, 0)
+        rcv = rec.counters.get(K_SDC_RECOVERED, 0)
+        assert inj > 0, "flip_rate=0.25 injected nothing — test is vacuous"
+        assert det == inj == rcv
+        np.testing.assert_array_equal(clean.R, f.R)
+
+    @pytest.mark.parametrize("batch", [None, "wavefront"])
+    def test_parallel_flips_detected_across_dispatch_modes(
+        self, small_matrix, batch
+    ):
+        clean = qr_factor(small_matrix, nb=8, ib=4, tree="hier", h=3)
+        plan = FaultPlan(seed=17, flip_rate=0.25)
+        f = qr_factor(
+            small_matrix, nb=8, ib=4, tree="hier", h=3,
+            backend="parallel", n_procs=2, batch=batch, fault_plan=plan,
+        )
+        assert f.stats.sdc_injected > 0
+        assert f.stats.sdc_detected == f.stats.sdc_injected
+        assert f.stats.sdc_recovered == f.stats.sdc_injected
+        np.testing.assert_array_equal(clean.R, f.R)
+
+    def test_flip_counts_identical_across_backends(self, small_matrix):
+        """The flip schedule is keyed by op index alone, so every backend
+        corrupts — and must repair — exactly the same operations."""
+        from repro.obs import recording
+        from repro.obs.record import K_SDC_INJECTED
+
+        plan = FaultPlan(seed=29, flip_rate=0.2)
+        counts = {}
+        for backend in ("serial", "batched"):
+            with recording() as rec:
+                qr_factor(
+                    small_matrix, nb=8, ib=4, tree="hier", h=3,
+                    backend=backend, fault_plan=plan,
+                )
+            counts[backend] = rec.counters.get(K_SDC_INJECTED, 0)
+        f = qr_factor(
+            small_matrix, nb=8, ib=4, tree="hier", h=3,
+            backend="parallel", n_procs=2, fault_plan=plan,
+        )
+        counts["parallel"] = f.stats.sdc_injected
+        assert counts["serial"] > 0
+        assert len(set(counts.values())) == 1, counts
+
+    def test_persistent_corruption_escalates(self, small_matrix):
+        from repro.util import SilentCorruptionError
+
+        # flip_attempts=3 corrupts every allowed re-execution, so the
+        # guard's re-execute-and-compare loop can never converge and must
+        # escalate instead of looping or silently accepting bad data.
+        plan = FaultPlan(seed=17, flip_rate=0.25, flip_attempts=3)
+        with pytest.raises(SilentCorruptionError, match="recomputation"):
+            qr_factor(
+                small_matrix, nb=8, ib=4, tree="hier", h=3, fault_plan=plan,
+            )
+
+    def test_on_failure_fallback_preserves_input(self, small_matrix):
+        # Escalation with on_failure="fallback" must not leave the caller
+        # with half-factored tiles: the fallback refactors from pristine
+        # input (without the fault plan) and still matches the clean run.
+        clean = qr_factor(small_matrix, nb=8, ib=4, tree="hier", h=3)
+        plan = FaultPlan(seed=17, flip_rate=0.25, flip_attempts=3)
+        f = qr_factor(
+            small_matrix, nb=8, ib=4, tree="hier", h=3,
+            fault_plan=plan, on_failure="fallback",
+        )
+        np.testing.assert_array_equal(clean.R, f.R)

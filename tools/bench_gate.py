@@ -6,10 +6,11 @@ warm persistent-session calls), appends the entry to
 ``results/BENCH_qr.json``, and fails when wall time regresses beyond the
 noise band — or when the derived op/flop counters drift at all — against
 the minimum of the last few comparable entries (same pinned config, same
-host fingerprint).  Two absolute floors fail the gate outright: the
-batched backend slower than serial, and a warm ``QRSession.factor`` call
-slower than one-shot parallel.  See ``docs/performance.md`` and
-``docs/sessions.md``.
+host fingerprint).  Three absolute floors fail the gate outright: the
+batched backend slower than serial, a warm ``QRSession.factor`` call
+slower than one-shot parallel, and a checkpointed parallel run more than
+15% slower than a plain one.  See ``docs/performance.md``,
+``docs/sessions.md``, and ``docs/robustness.md``.
 
 Usage::
 
@@ -76,7 +77,9 @@ def main(argv: list[str] | None = None) -> int:
     print(f"bench_gate: running {label} config {config}")
     entry = run_qr_benchmark(**config)
     if args.inject_slowdown is not None:
-        for key in ("serial_s", "batched_s", "parallel_s", "session_warm_s"):
+        for key in (
+            "serial_s", "batched_s", "parallel_s", "session_warm_s", "checkpoint_s",
+        ):
             entry["measured"][key] = round(
                 entry["measured"][key] * args.inject_slowdown, 6
             )
@@ -90,6 +93,8 @@ def main(argv: list[str] | None = None) -> int:
         f"({m['parallel_mode']}), "
         f"session warm {m['session_warm_s']:.4f}s "
         f"({entry['derived']['session_speedup']}x vs one-shot parallel), "
+        f"checkpointed {m['checkpoint_s']:.4f}s "
+        f"(+{entry['derived']['checkpoint_overhead_s']:.4f}s overhead), "
         f"counters {entry['counters']}"
     )
 
