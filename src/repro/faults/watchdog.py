@@ -22,6 +22,7 @@ from __future__ import annotations
 import time
 from collections.abc import Callable
 
+from ..obs import record as _obs_record
 from ..util.errors import WatchdogTimeout
 from ..util.validation import check_positive
 
@@ -84,6 +85,11 @@ class Watchdog:
         stalled = self.stalled_for()
         if stalled <= self.timeout_s:
             return
+        rec = _obs_record._RECORDER
+        if rec is not None:
+            rec.event(
+                "watchdog.stall", what=self.what, stalled_s=round(stalled, 3)
+            )
         msg = f"{self.what}: no progress for {stalled:.1f}s (timeout {self.timeout_s:.1f}s)"
         if self.report is not None:
             msg = f"{msg}\n{self.report()}"

@@ -18,8 +18,17 @@ incompatible shapes.  This package gives them one schema:
   answer "where did the time go" from recorded spans (see
   ``docs/performance.md``);
 * :class:`MetricsSampler` — a background thread streaming counter/gauge
-  snapshots to JSON-lines while a backend runs (tail or summarise with
-  ``python -m repro.obs.monitor metrics.jsonl``).
+  snapshots to JSON-lines while a backend runs (tail, summarise, or
+  dashboard with ``python -m repro.obs.monitor metrics.jsonl``);
+* trace context (:mod:`repro.obs.context`) — every ``qr_factor`` call
+  mints a ``run_id`` that propagates through worker pipes, PULSAR packets,
+  and checkpoint archives, so spans and events from every process and
+  thread of one factorization share one identity (and causal
+  ``span_id``/``parent_id`` edges — see :func:`causal_edges`);
+* :class:`EventLog` — typed, schema-validated runtime events (retries,
+  respawns, SDC repairs, checkpoint writes, stalls) correlated to spans;
+* :class:`RunRegistry` — an append-only per-run summary store with
+  cross-run diffing (``python -m repro.obs.registry list|show|diff``).
 
 Quick start: ``qr_factor(a, backend="parallel", trace="t.json")`` records
 spans from whichever backend runs and writes a Perfetto-loadable JSON; see
@@ -38,10 +47,13 @@ from .analysis import (
     CriticalPathStep,
     LaneUsage,
     attribution_table,
+    causal_edges,
     lane_attribution,
     match_spans_to_ops,
     realized_critical_path,
 )
+from .context import RunContext, current_run_id, mint_run_id, use_run
+from .events import EVENT_TYPES, Event, EventLog, read_events
 from .export import (
     counter_summary,
     des_traces_to_chrome,
@@ -56,6 +68,7 @@ from .record import (
     Span,
     current_lane,
     current_op,
+    current_span_id,
     get_recorder,
     install,
     recording,
@@ -63,8 +76,15 @@ from .record import (
     set_worker_lane,
     uninstall,
 )
+from .registry import RunRegistry, anomaly_flags, build_record, diff_records
 from .sampler import MetricsSampler
-from .validate import validate_chrome_trace
+from .validate import (
+    canonical_counter_keys,
+    register_counter_prefix,
+    validate_chrome_trace,
+    validate_counters,
+    validate_run_telemetry,
+)
 
 __all__ = [
     "Span",
@@ -98,4 +118,22 @@ __all__ = [
     "counter_summary",
     "spans_to_csv",
     "validate_chrome_trace",
+    "validate_counters",
+    "validate_run_telemetry",
+    "canonical_counter_keys",
+    "register_counter_prefix",
+    "causal_edges",
+    "current_span_id",
+    "RunContext",
+    "mint_run_id",
+    "current_run_id",
+    "use_run",
+    "Event",
+    "EventLog",
+    "EVENT_TYPES",
+    "read_events",
+    "RunRegistry",
+    "build_record",
+    "diff_records",
+    "anomaly_flags",
 ]

@@ -36,6 +36,7 @@ __all__ = [
     "realized_critical_path",
     "lane_attribution",
     "attribution_table",
+    "causal_edges",
     "CriticalPathStep",
     "CriticalPathResult",
     "LaneUsage",
@@ -44,6 +45,42 @@ __all__ = [
 
 def _kernel_spans(spans) -> list[Span]:
     return [s for s in spans if s.name in KERNEL_CATEGORY]
+
+
+def causal_edges(spans) -> dict[int, int | None]:
+    """``span_id -> parent_id`` over every identified span in the trace.
+
+    Clock alignment can only say two spans *overlapped*; the identity
+    edges recorded by the tracer (:attr:`~repro.obs.record.Span.parent_id`)
+    say one span *caused* the other — a kernel fired inside a PULSAR
+    firing, a worker attach triggered by a pool lease.  This helper
+    extracts those edges and enforces their invariants:
+
+    * span ids are unique (a duplicate means two spans claim the same
+      identity — a recorder bug or a spliced trace);
+    * every ``parent_id`` resolves to a span present in the trace (an
+      orphan edge means the parent was dropped or the trace truncated).
+
+    Spans without an id (``span_id == 0`` — DES-derived or hand-built
+    spans) carry no identity and are skipped.  Roots map to ``None``.
+    """
+    edges: dict[int, int | None] = {}
+    for s in spans:
+        if not s.span_id:
+            continue
+        if s.span_id in edges:
+            raise TraceError(f"duplicate span id {s.span_id} ({s.name!r})")
+        edges[s.span_id] = s.parent_id
+    orphans = sorted(
+        sid for sid, parent in edges.items()
+        if parent is not None and parent not in edges
+    )
+    if orphans:
+        raise TraceError(
+            f"{len(orphans)} span(s) reference parents absent from the "
+            f"trace: ids {orphans[:5]}"
+        )
+    return edges
 
 
 def match_spans_to_ops(spans, ops) -> list[Span | None]:

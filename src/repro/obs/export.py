@@ -69,19 +69,27 @@ def _events_for_group(
                 "args": {"name": label},
             }
         )
-    events = [
-        {
-            "name": s.name,
-            "cat": s.cat,
-            "ph": "X",
-            "ts": s.start * _US,
-            "dur": s.duration * _US,
-            "pid": pid,
-            "tid": s.worker,
-            "args": s.args,
-        }
-        for s in spans
-    ]
+    events = []
+    for s in spans:
+        args = dict(s.args)
+        # Causal identity travels in args so Perfetto shows it per slice
+        # and the validator can check edges without the Span objects.
+        if s.span_id:
+            args["span"] = s.span_id
+        if s.parent_id is not None:
+            args["parent"] = s.parent_id
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.cat,
+                "ph": "X",
+                "ts": s.start * _US,
+                "dur": s.duration * _US,
+                "pid": pid,
+                "tid": s.worker,
+                "args": args,
+            }
+        )
     events.sort(key=lambda e: (e["ts"], -e["dur"]))
     return meta + events
 
@@ -93,23 +101,26 @@ def to_chrome_trace(
     clock: str = "real",
     lane_names: Mapping[int, str] | None = None,
     process_name: str = "repro",
+    run_id: str | None = None,
 ) -> dict:
     """Build a Chrome-trace document (one process group, ``pid`` 0).
 
     ``counters`` totals travel in ``otherData`` (Chrome counter events model
     time series; ours are end-of-run totals, so structured side data keeps
     them lossless).  ``clock`` is recorded there too, so a viewer-side
-    human can tell virtual seconds from wall-clock seconds.
+    human can tell virtual seconds from wall-clock seconds, and ``run_id``
+    (when the trace came from a live recorder) ties the file to its event
+    log, metrics samples, and registry record.
     """
+    other: dict = {"clock": clock, "counters": dict(counters or {})}
+    if run_id is not None:
+        other["run_id"] = run_id
     return {
         "traceEvents": _events_for_group(
             spans, pid=0, process_name=process_name, lane_names=lane_names
         ),
         "displayTimeUnit": "ms",
-        "otherData": {
-            "clock": clock,
-            "counters": dict(counters or {}),
-        },
+        "otherData": other,
     }
 
 

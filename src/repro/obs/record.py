@@ -28,6 +28,17 @@ recorder's and raises :class:`~repro.util.errors.TraceError` otherwise, so
 a simulated span can never silently interleave with wall-clock spans on
 one lane.
 
+Causality: every recorder-built span carries a ``span_id`` unique within
+the run, allocated when the span *opens* (so children observe it), and a
+``parent_id`` naming the span that caused it — the enclosing
+:meth:`Recorder.span` block on the same thread by default, or an explicit
+parent for spans reported across a process boundary (the parallel
+dispatcher parents worker kernel spans under its spawn/lease span).  The
+recorder also owns the run's identity (``run_id``, see
+:mod:`repro.obs.context`) and its structured event log
+(:class:`repro.obs.events.EventLog`), so spans, counters, and events are
+correlated by construction rather than by clock alignment.
+
 Doctest::
 
     >>> from repro.obs import recording
@@ -43,6 +54,7 @@ Doctest::
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections.abc import Callable, Iterable
@@ -50,6 +62,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from ..util.errors import TraceError
+from .context import mint_run_id
+from .events import Event, EventLog
 
 __all__ = [
     "Span",
@@ -63,6 +77,7 @@ __all__ = [
     "current_lane",
     "set_current_op",
     "current_op",
+    "current_span_id",
     "K_FIRINGS",
     "K_PACKETS_PUSHED",
     "K_PACKETS_BYPASSED",
@@ -159,6 +174,14 @@ class Span:
         Lane id — worker thread / process rank / proxy lane.
     args:
         Free-form details (op description, VDP tuple, batch size...).
+    span_id:
+        Identity unique within the run, allocated by the recorder when
+        the span opens; ``0`` means "no identity" (adapter-built virtual
+        spans from the simulator keep the default).
+    parent_id:
+        ``span_id`` of the span that caused this one (the enclosing
+        :meth:`Recorder.span` block, or an explicitly supplied parent for
+        work reported across a process boundary); ``None`` for roots.
     """
 
     name: str
@@ -167,6 +190,8 @@ class Span:
     end: float
     worker: int = 0
     args: dict = field(default_factory=dict)
+    span_id: int = 0
+    parent_id: int | None = None
 
     @property
     def duration(self) -> float:
@@ -213,6 +238,10 @@ class Recorder:
     clock:
         ``"real"`` (spans stamped with :meth:`now`) or ``"virtual"``
         (spans carry simulated seconds supplied by an adapter).
+    run_id:
+        Identity of the run this recorder records (minted fresh when not
+        supplied; ``qr_factor`` passes the run id it minted so recorder,
+        result, events, and registry record all agree).
 
     Attributes
     ----------
@@ -221,22 +250,29 @@ class Recorder:
         closes, so nested spans appear inner-first).
     counters:
         The shared :class:`Counters` accumulator.
+    events:
+        The run's structured :class:`~repro.obs.events.EventLog`.
     lane_names:
         Optional ``lane id -> human label`` map filled by the backend
         adapters (``"worker 0 (node 0)"``, ``"proxy 1"``, ``"dispatcher"``);
         exported as Chrome-trace thread names.
     """
 
-    def __init__(self, clock: str = "real"):
+    def __init__(self, clock: str = "real", run_id: str | None = None):
         if clock not in ("real", "virtual"):
             raise ValueError(f"clock must be 'real' or 'virtual', got {clock!r}")
         self.clock = clock
+        self.run_id = run_id or mint_run_id()
         self.spans: list[Span] = []
         self.counters = Counters()
+        self.events = EventLog()
         self.lane_names: dict[int, str] = {}
         self.gauges: dict[str, Callable[[], float]] = {}
         self._t0 = time.perf_counter()
         self._lock = threading.Lock()
+        # GIL-atomic id source: span ids are handed out at span *open* so
+        # children can reference their parent before it is recorded.
+        self._span_ids = itertools.count(1)
 
     # -- clock ---------------------------------------------------------------
 
@@ -277,6 +313,10 @@ class Recorder:
 
     # -- recording -----------------------------------------------------------
 
+    def new_span_id(self) -> int:
+        """Allocate the next span id (call when the span opens)."""
+        return next(self._span_ids)
+
     def add_span(
         self,
         name: str,
@@ -285,12 +325,29 @@ class Recorder:
         end: float,
         worker: int = 0,
         args: dict | None = None,
+        *,
+        span_id: int | None = None,
+        parent: int | None = None,
     ) -> Span:
-        """Append one completed real-time span (times in recorder seconds)."""
+        """Append one completed real-time span (times in recorder seconds).
+
+        ``span_id`` is allocated here unless the caller already holds one
+        (a :meth:`span` block allocated at open).  ``parent`` defaults to
+        the calling thread's innermost open :meth:`span` block; pass the
+        causing span's id explicitly when recording work that happened on
+        another thread or process.
+        """
         self._check_clock("real", f"add_span({name!r})")
         if end < start:
             raise TraceError(f"span {name!r} ends before it starts ({end} < {start})")
-        s = Span(name, cat, float(start), float(end), self._check_lane(worker), dict(args or {}))
+        if parent is None:
+            parent = current_span_id()
+        s = Span(
+            name, cat, float(start), float(end), self._check_lane(worker),
+            dict(args or {}),
+            span_id=self.new_span_id() if span_id is None else span_id,
+            parent_id=parent,
+        )
         with self._lock:
             self.spans.append(s)
         return s
@@ -325,6 +382,7 @@ class Recorder:
         end: float,
         worker: int,
         op: int | None = None,
+        parent: int | None = None,
     ) -> None:
         """One kernel invocation: span + the four flop/op counters.
 
@@ -333,13 +391,22 @@ class Recorder:
         originating :class:`~repro.qr.ops.Op` in schedule order when the
         backend knows it; it lands in ``Span.args["op"]`` and lets
         :mod:`repro.obs.analysis` join spans back onto the dependency graph
-        even when lanes complete work out of program order.
+        even when lanes complete work out of program order.  ``parent``
+        defaults to the calling thread's innermost open :meth:`span` block
+        (a PULSAR firing, a fallback window); the parallel dispatcher
+        passes the causing span explicitly when it records worker-reported
+        kernels from the parent process.
         """
         self._check_clock("real", f"record_kernel({kind!r})")
         lane = self._check_lane(worker)
         args = {} if op is None else {"op": op}
+        if parent is None:
+            parent = current_span_id()
         with self._lock:
-            self.spans.append(Span(kind, cat, start, end, lane, args))
+            self.spans.append(
+                Span(kind, cat, start, end, lane, args,
+                     span_id=next(self._span_ids), parent_id=parent)
+            )
             c = self.counters
             c.add(f"flops.{kind}", flops)
             c.add(f"ops.{kind}")
@@ -367,14 +434,53 @@ class Recorder:
 
     @contextmanager
     def span(self, name: str, cat: str = "default", worker: int | None = None, **args):
-        """Context manager recording a real-time span around its body."""
+        """Context manager recording a real-time span around its body.
+
+        The span's id is allocated on entry and pushed on a thread-local
+        stack, so everything recorded inside the block on this thread
+        (nested blocks, kernel-shim spans, events) parents to it.
+        """
         self._check_clock("real", f"span({name!r})")
         lane = current_lane() if worker is None else worker
+        span_id = self.new_span_id()
+        parent = current_span_id()
+        _push_span(span_id)
         start = self.now()
         try:
             yield self
         finally:
-            self.add_span(name, cat, start, self.now(), worker=lane, args=args)
+            _pop_span()
+            self.add_span(
+                name, cat, start, self.now(), worker=lane, args=args,
+                span_id=span_id, parent=parent,
+            )
+
+    # -- events --------------------------------------------------------------
+
+    def event(
+        self,
+        etype: str,
+        *,
+        worker: int | None = None,
+        op: int | None = None,
+        span: int | None = None,
+        **data,
+    ) -> Event:
+        """Emit one structured event stamped with this run's identity.
+
+        ``span`` defaults to the calling thread's innermost open
+        :meth:`span` block, correlating the event to the interval it
+        happened inside; ``worker`` defaults to the thread's lane when
+        one was bound with :func:`set_worker_lane`.
+        """
+        if span is None:
+            span = current_span_id()
+        if worker is None:
+            worker = getattr(_LANE, "value", None)
+        return self.events.emit(
+            Event(self.now(), etype, self.run_id, worker=worker, op=op,
+                  span=span, data=data)
+        )
 
     # -- gauges --------------------------------------------------------------
     # Instantaneous values that only exist while a backend runs (ready-queue
@@ -443,7 +549,7 @@ def uninstall() -> Recorder | None:
 
 
 @contextmanager
-def recording(clock: str = "real"):
+def recording(clock: str = "real", run_id: str | None = None):
     """Install a fresh :class:`Recorder` for the duration of the block.
 
     Restores whatever recorder (usually none) was installed before, so
@@ -451,12 +557,38 @@ def recording(clock: str = "real"):
     """
     global _RECORDER
     prev = _RECORDER
-    rec = Recorder(clock=clock)
+    rec = Recorder(clock=clock, run_id=run_id)
     _RECORDER = rec
     try:
         yield rec
     finally:
         _RECORDER = prev
+
+
+# -- span stack --------------------------------------------------------------
+# Which span the *current thread* is inside (innermost open ``span()``
+# block), so nested spans, kernel-shim spans, and events can parent to it
+# without threading ids through every call signature.
+_SPAN_STACK = threading.local()
+
+
+def _push_span(span_id: int) -> None:
+    ids = getattr(_SPAN_STACK, "ids", None)
+    if ids is None:
+        ids = _SPAN_STACK.ids = []
+    ids.append(span_id)
+
+
+def _pop_span() -> None:
+    ids = getattr(_SPAN_STACK, "ids", None)
+    if ids:
+        ids.pop()
+
+
+def current_span_id() -> int | None:
+    """Id of the calling thread's innermost open span (``None`` outside)."""
+    ids = getattr(_SPAN_STACK, "ids", None)
+    return ids[-1] if ids else None
 
 
 # -- lanes -------------------------------------------------------------------

@@ -45,6 +45,7 @@ Gauge vocabulary
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
 import threading
@@ -109,12 +110,19 @@ class MetricsSampler:
             target=self._run, name="repro-metrics-sampler", daemon=True
         )
         self._thread.start()
+        # Abnormal-exit safety net: an exception that unwinds past the
+        # owner's ``finally`` still gets the final sample and a closed
+        # file via atexit.  ``os._exit`` (the chaos drill) skips atexit,
+        # but every per-sample write is flushed, so a hard kill loses at
+        # most the final snapshot, never the samples already written.
+        atexit.register(self.stop)
         return self
 
     def stop(self) -> None:
         """Stop the thread, write a final sample, close the file."""
         if self._file is None:
             return
+        atexit.unregister(self.stop)
         self._stop.set()
         if self._thread is not None:
             self._thread.join()
@@ -133,7 +141,14 @@ class MetricsSampler:
 
     def _run(self) -> None:
         while not self._stop.wait(self.interval):
-            self._sample()
+            try:
+                self._sample()
+            except Exception:
+                # A transient snapshot failure (e.g. a gauge raising while
+                # its backend tears down) must not kill the thread — the
+                # next interval retries, and stop() still writes the final
+                # sample.
+                continue
 
     def _sample(self) -> None:
         rec = self.recorder
@@ -149,6 +164,7 @@ class MetricsSampler:
         self._prev_t, self._prev_counters = t, counters
         record = {
             "t": round(t, 6),
+            "run": rec.run_id,
             "counters": counters,
             "gauges": rec.read_gauges(),
             "rates": rates,

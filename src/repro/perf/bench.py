@@ -48,7 +48,10 @@ SMOKE_CONFIG = dict(m=480, n=96, nb=16, ib=8, tree="hier", h=2, procs=2, repeats
 FULL_CONFIG = dict(m=4096, n=512, nb=64, ib=32, tree="hier", h=4, procs=4, repeats=3)
 
 #: Wall-time keys subject to the noise band.
-TIME_KEYS = ("serial_s", "batched_s", "parallel_s", "session_warm_s", "checkpoint_s")
+TIME_KEYS = (
+    "serial_s", "batched_s", "parallel_s", "session_warm_s", "checkpoint_s",
+    "telemetry_off_s",
+)
 #: Counter keys that must reproduce exactly.
 COUNTER_KEYS = ("ops.total", "flops.total")
 
@@ -152,6 +155,21 @@ def run_qr_benchmark(
         sess.factor(a, **warm_kw)  # cold: spawn pool, build plan cache entry
         session_warm_s = best(lambda: sess.factor(a, **warm_kw))
 
+    # Telemetry-disabled overhead microbench: a burst of small serial
+    # factorizations where per-call fixed cost (run-id minting, trace-context
+    # management, disabled-recorder checks) is a visible fraction of the wall
+    # time.  Gated by the same noise band as the other wall times, so growth
+    # in the tracing-off fast path fails the gate even when the big pinned
+    # problems hide it under kernel time.
+    small = rng.standard_normal((4 * nb, 2 * nb))
+    small_kw = dict(nb=nb, ib=ib, tree=tree, h=min(h, 2))
+
+    def run_small_burst():
+        for _ in range(5):
+            qr_factor(small, **small_kw)
+
+    telemetry_off_s = best(run_small_burst)
+
     counters = f[0].counters
     return {
         "written": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -164,6 +182,7 @@ def run_qr_benchmark(
             "parallel_s": round(parallel_s, 6),
             "session_warm_s": round(session_warm_s, 6),
             "checkpoint_s": round(checkpoint_s, 6),
+            "telemetry_off_s": round(telemetry_off_s, 6),
             "parallel_mode": f[0].stats.mode if f[0].stats else "parallel",
         },
         # Rounded so summation-order float noise can't trip the exact-match

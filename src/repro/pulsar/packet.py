@@ -28,11 +28,16 @@ class Packet:
         enforce their declared maximum against this value.
     label:
         Optional debugging label shown in runtime diagnostics.
+    run_id:
+        Trace-context id of the run that produced the packet; stamped by
+        the runtime on push and preserved across proxy hops, so a packet
+        observed anywhere in the fabric names the run it belongs to.
     """
 
     data: object
     nbytes: int = field(default=-1)
     label: str = ""
+    run_id: str | None = None
 
     def __post_init__(self) -> None:
         if self.nbytes < 0:

@@ -54,6 +54,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from ..netsim.fabric import Fabric, SendRequest, _copy_payload, payload_nbytes
+from ..obs import context as _obs_context
 from ..obs import record as _obs_record
 from ..obs.record import (
     K_BYTES_MOVED,
@@ -258,6 +259,8 @@ class PRT:
             # Validate on the sending side, before any queueing.
             channel.push(packet)  # raises ChannelError with a good message
             return
+        if packet.run_id is None:
+            packet.run_id = self.run_id
         rec = self._rec
         if channel.is_remote:
             src = self.nodes[channel.src_node]
@@ -323,6 +326,14 @@ class PRT:
         self._ran = True
         # Capture the recorder once; worker/proxy threads read self._rec.
         self._rec = _obs_record._RECORDER
+        # Trace context: the recorder's run id is canonical; otherwise the
+        # caller's active run (or a fresh id for standalone PRT runs).
+        # Worker and proxy threads activate it so spans, events, and packets
+        # they produce all bind to the same run.
+        if self._rec is not None:
+            self.run_id = self._rec.run_id
+        else:
+            self.run_id = _obs_context.current_run_id() or _obs_context.mint_run_id()
         if self._rec is not None:
             # Live runtime state for the metrics sampler (vocabulary in
             # repro.obs.sampler); unregistered in run()'s finally.
@@ -438,21 +449,21 @@ class PRT:
 
     def _fire(self, vdp: VDP, wid: int) -> None:
         rec = self._rec
-        start = rec.now() if rec is not None else 0.0
         try:
-            vdp.fnc(vdp)
+            if rec is not None:
+                # span() (not add_span) so kernel-shim spans recorded by the
+                # VDP body parent to this firing — a real causal edge.
+                with rec.span(
+                    "fire", "runtime", worker=wid,
+                    vdp=str(vdp.tuple), firing=vdp.firing_index,
+                ):
+                    vdp.fnc(vdp)
+            else:
+                vdp.fnc(vdp)
         except BaseException as exc:  # propagate user errors to run()
             self._fail(exc)
             raise
         if rec is not None:
-            rec.add_span(
-                "fire",
-                "runtime",
-                start,
-                rec.now(),
-                worker=wid,
-                args={"vdp": str(vdp.tuple), "firing": vdp.firing_index},
-            )
             rec.count(K_FIRINGS)
         vdp.firing_index += 1
         vdp.counter -= 1
@@ -464,6 +475,7 @@ class PRT:
 
     def _worker_loop(self, wid: int) -> None:
         node = self.nodes[wid // self.cfg.workers_per_node]
+        _obs_context.activate(self.run_id)
         rec = self._rec
         if rec is not None:
             _obs_record.set_worker_lane(wid)
@@ -512,6 +524,7 @@ class PRT:
         all worker lanes) with one lifetime span; every isend bumps the
         ``proxy.messages`` counter.
         """
+        _obs_context.activate(self.run_id)
         rec = self._rec
         lane = self.cfg.total_workers + node.rank
         if rec is not None:
@@ -639,6 +652,9 @@ class PRT:
                     dup_suppressed += 1
                     if rec is not None:
                         rec.count(K_RETRY_DUP_SUPPRESSED)
+                        rec.event(
+                            "retry.dup_suppressed", src=msg.source, seq=seq
+                        )
                     continue
                 buf = recv_buf.setdefault(stream, {})
                 if seq > expected:
@@ -646,6 +662,9 @@ class PRT:
                         dup_suppressed += 1
                         if rec is not None:
                             rec.count(K_RETRY_DUP_SUPPRESSED)
+                            rec.event(
+                                "retry.dup_suppressed", src=msg.source, seq=seq
+                            )
                     else:
                         buf[seq] = data
                     continue
@@ -676,6 +695,9 @@ class PRT:
                 retransmits += 1
                 if rec is not None:
                     rec.count(K_RETRY_RESEND)
+                    rec.event(
+                        "retry.resend", dst=key[0], seq=key[2], n=snd.attempts
+                    )
                 snd.deadline = now + min(
                     cfg.retry_timeout * (2.0 ** snd.attempts), cfg.retry_backoff_cap
                 )
@@ -707,7 +729,7 @@ class PRT:
             ))
             return False
         with node.cond:
-            ch.queue.append(Packet(data=data, nbytes=nbytes))
+            ch.queue.append(Packet(data=data, nbytes=nbytes, run_id=self.run_id))
             node.cond.notify_all()
         return True
 

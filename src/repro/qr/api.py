@@ -45,10 +45,12 @@ was recorded.
 from __future__ import annotations
 
 import os
+import time
 from contextlib import nullcontext
 
 import numpy as np
 
+from ..obs import context as _obs_context
 from ..obs import record as _obs_record
 from ..tiles.matrix import TileMatrix
 from ..trees.plan import TreeKind, plan_all_panels
@@ -91,6 +93,8 @@ class QRFactorization:
         ops=None,
         ib: int | None = None,
         recorder=None,
+        run_id: str | None = None,
+        parent_run_id: str | None = None,
     ):
         self._factors = factors
         self.tree = tree
@@ -102,6 +106,14 @@ class QRFactorization:
         #: The :class:`repro.obs.Recorder` of the run when ``trace=`` was
         #: given to :func:`qr_factor`, else ``None``.
         self.recorder = recorder
+        #: Identity of the run that produced this factorization (minted by
+        #: :func:`qr_factor` whether or not telemetry was recorded; see
+        #: :mod:`repro.obs.context`).
+        self.run_id = run_id
+        #: The archived run id a resumed factorization continues from
+        #: (:func:`~repro.qr.persist.resume_factorization`); ``None`` for
+        #: runs started from scratch.
+        self.parent_run_id = parent_run_id
         #: Completed ops skipped because they were restored from a
         #: checkpoint (:func:`~repro.qr.persist.resume_factorization`);
         #: ``0`` for a factorization computed from scratch.
@@ -194,6 +206,8 @@ def qr_factor(
     batch: int | str | None = None,
     trace: str | os.PathLike | None = None,
     metrics: str | os.PathLike | None = None,
+    events: str | os.PathLike | None = None,
+    registry=None,
     fault_plan=None,
     on_failure: str = "raise",
     checkpoint=None,
@@ -316,6 +330,19 @@ def qr_factor(
         finish.  Tail or summarise with
         ``python -m repro.obs.monitor metrics.jsonl``; combine freely with
         ``trace=``.
+    events:
+        Path to stream the structured event log (JSON-lines, one line per
+        runtime event: worker deaths/respawns, re-dispatches,
+        retransmissions, SDC detect/repair, checkpoint writes, watchdog
+        stalls; see :mod:`repro.obs.events`).  Each line carries the
+        run id and, where known, the op index, worker lane, and related
+        span id.  Implies recording, like ``trace=``.
+    registry:
+        Path (or :class:`repro.obs.registry.RunRegistry`) of an
+        append-only run registry: after the run one summary line — run
+        id, geometry, backend, wall time, counter and event totals — is
+        appended for cross-run ``list``/``show``/``diff`` with
+        ``python -m repro.obs.registry``.  Works with or without tracing.
     fault_plan:
         Optional :class:`~repro.faults.FaultPlan` for chaos testing:
         injects packet loss/duplication/delay into the ``pulsar`` fabric
@@ -443,12 +470,28 @@ def qr_factor(
         else None
     )
 
+    # Every run gets an identity, traced or not: it names the registry
+    # record, travels to worker processes and PULSAR packets, and is
+    # archived by checkpoints so a resume can name its parent run.
+    run_id = _obs_context.mint_run_id()
+    status = "ok"
+    t_run0 = time.perf_counter()
+
     # The recording window covers only the backend execution: factor
     # assembly and any later apply_q/solve calls stay out of the evidence.
-    record = trace is not None or metrics is not None
-    ctx = _obs_record.recording() if record else nullcontext(None)
-    with ctx as recorder:
+    record = trace is not None or metrics is not None or events is not None
+    ctx = (
+        _obs_record.recording(run_id=run_id) if record else nullcontext(None)
+    )
+    with _obs_context.use_run(run_id), ctx as recorder:
         sampler = None
+        if recorder is not None:
+            if events is not None:
+                recorder.events.open_sink(events)
+            recorder.event(
+                "run.start", backend=backend, m=tm.m, n=tm.n, nb=tm.nb,
+                ib=ib, tree=kind.value, h=h,
+            )
         if metrics is not None:
             from ..obs.sampler import MetricsSampler
 
@@ -504,20 +547,33 @@ def qr_factor(
                 )
                 factors = assemble_factors(arr.store, ops, ib)
         except ConfigurationError:
+            status = "error"
             raise  # a bad parameter would fail on the serial path too
         except ReproError as exc:
             if pristine is None:
+                status = "error"
                 raise
             from .parallel import _fallback
 
             reason = f"{backend} backend failed: {type(exc).__name__}: {exc}"
             factors, stats = _fallback(pristine, ops, ib, reason, policy)
+            status = "fallback"
         finally:
             if sampler is not None:
                 sampler.stop()
+            if recorder is not None:
+                recorder.event(
+                    "run.end", backend=backend, status=status,
+                    wall_s=round(time.perf_counter() - t_run0, 6),
+                )
+                recorder.events.close_sink()
+    wall_s = time.perf_counter() - t_run0
     f = QRFactorization(
-        factors, kind, backend, stats=stats, ops=ops, ib=ib, recorder=recorder
+        factors, kind, backend, stats=stats, ops=ops, ib=ib,
+        recorder=recorder, run_id=run_id,
     )
+    if session is not None:
+        session.last_run_id = run_id
     if trace is not None:
         from ..obs.export import write_chrome_trace
 
@@ -527,6 +583,23 @@ def qr_factor(
             counters=f.counters,
             clock=recorder.clock,
             lane_names=recorder.lane_names,
+            run_id=recorder.run_id,
+        )
+    if registry is not None:
+        from ..obs.registry import RunRegistry, build_record
+
+        reg = registry if isinstance(registry, RunRegistry) else RunRegistry(registry)
+        reg.append(
+            build_record(
+                run_id=run_id,
+                backend=backend,
+                geometry=dict(m=tm.m, n=tm.n, nb=tm.nb, ib=ib,
+                              tree=kind.value, h=h),
+                wall_s=wall_s,
+                counters=f.counters,
+                events=recorder.events.totals() if recorder is not None else None,
+                status=status,
+            )
         )
     return f
 

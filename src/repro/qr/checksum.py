@@ -110,11 +110,13 @@ class SDCGuard:
         self._reported = now
         return delta
 
-    def _count(self, key: str, attr: str) -> None:
+    def _count(self, key: str, attr: str, etype: str, op_index: int,
+               **data) -> None:
         setattr(self, attr, getattr(self, attr) + 1)
         rec = _obs_record._RECORDER
         if rec is not None:
             rec.count(key)
+            rec.event(etype, op=op_index, **data)
 
     # -- guarded execution -------------------------------------------------
 
@@ -153,9 +155,12 @@ class SDCGuard:
             )
             if ok:
                 if attempt > 0:
-                    self._count(K_SDC_RECOVERED, "recovered")
+                    self._count(
+                        K_SDC_RECOVERED, "recovered", "sdc.recovered",
+                        op_index, attempts=attempt,
+                    )
                 return t
-            self._count(K_SDC_DETECTED, "detected")
+            self._count(K_SDC_DETECTED, "detected", "sdc.detected", op_index)
             if attempt + 1 >= MAX_EXECUTIONS:
                 raise SilentCorruptionError(
                     f"op {op_index}: output checksum still mismatched after "
@@ -182,4 +187,4 @@ class SDCGuard:
         buf = np.array([w[pos]], dtype=np.float64)
         buf.view(np.uint64)[0] ^= np.uint64(self.plan.flip_mask(op_index, attempt))
         w[pos] = buf[0]
-        self._count(K_SDC_INJECTED, "injected")
+        self._count(K_SDC_INJECTED, "injected", "sdc.injected", op_index)

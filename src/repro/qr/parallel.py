@@ -78,6 +78,7 @@ import numpy as np
 from .. import kernels
 from ..faults.watchdog import Watchdog
 from ..kernels import batched as _bk
+from ..obs import context as _obs_context
 from ..obs import record as _obs_record
 from ..obs.adapters import KERNEL_CATEGORY
 from ..obs.record import (
@@ -375,6 +376,7 @@ def _serve_job(store, flags, ops: list[Op], ib: int, fault_plan, rank: int,
 def _worker_main(
     rank: int,
     generation: int,
+    run_id: str,
     shm_name: str,
     flags_name: str,
     layout: TileLayout,
@@ -387,14 +389,18 @@ def _worker_main(
     from ..tiles.shared import SharedTileStore, attach_untracked
 
     # A forked child inherits the parent's recorder; spans must be recorded
-    # by the parent from the reported stamps, not duplicated here.
+    # by the parent from the reported stamps, not duplicated here.  The run
+    # identity *does* survive the boundary: it arrives in the spawn args
+    # and is echoed in the attach handshake, so the parent can verify the
+    # worker is serving the run it thinks it is.
     _obs_record._RECORDER = None
+    _obs_context.activate(run_id)
 
     t_attach0 = time.perf_counter()
     store = SharedTileStore.attach(shm_name, layout, ops, ib)
     flags_shm = attach_untracked(flags_name)
     try:
-        conn.send(("attached", rank, t_attach0, time.perf_counter()))
+        conn.send(("attached", rank, t_attach0, time.perf_counter(), run_id))
         _serve_job(store, flags_shm.buf, ops, ib, fault_plan, rank, generation, conn)
     except (EOFError, KeyboardInterrupt):  # parent went away: just exit
         pass
@@ -408,8 +414,9 @@ def _pool_worker_main(rank: int, generation: int, conn: Connection) -> None:
     """Persistent pool worker: serve factorization jobs until told to exit.
 
     Each job starts with a header
-    ``("job", shm_name, flags_name, layout, ops, ib, fault_plan)`` followed
-    by the usual dispatch messages and an ``("endjob",)`` terminator.  A
+    ``("job", shm_name, flags_name, layout, ops, ib, fault_plan, run_id)``
+    followed by the usual dispatch messages and an ``("endjob",)``
+    terminator.  A
     ``layout``/``ops`` of ``None`` means "same segment as your previous
     job": the worker keeps its last shared-memory attachment and operation
     list cached (the parent's :class:`~repro.qr.session.WorkerPool` tracks
@@ -432,7 +439,8 @@ def _pool_worker_main(rank: int, generation: int, conn: Connection) -> None:
             msg = conn.recv()
             if msg is None:
                 break
-            _, shm_name, flags_name, layout, ops, ib, fault_plan = msg
+            _, shm_name, flags_name, layout, ops, ib, fault_plan, run_id = msg
+            _obs_context.activate(run_id)
             t_attach0 = time.perf_counter()
             if shm_name != cached_name:
                 if store is not None:
@@ -441,7 +449,7 @@ def _pool_worker_main(rank: int, generation: int, conn: Connection) -> None:
                 store = SharedTileStore.attach(shm_name, layout, ops, ib)
                 flags_shm = attach_untracked(flags_name)
                 cached_name, cached_ops, cached_ib = shm_name, ops, ib
-            conn.send(("attached", rank, t_attach0, time.perf_counter()))
+            conn.send(("attached", rank, t_attach0, time.perf_counter(), run_id))
             end = _serve_job(
                 store, flags_shm.buf, cached_ops, cached_ib,
                 fault_plan, rank, generation, conn,
@@ -509,6 +517,7 @@ def _fallback(a: TileMatrix, ops: list[Op], ib: int, reason: str, policy: str,
     elapsed = time.perf_counter() - t0
     if rec is not None:
         rec.count(K_FALLBACK_SERIAL)
+        rec.event("fallback.serial", worker=0, reason=reason)
         end = rec.now()
         rec.add_span(
             "fallback", "dispatch", end - elapsed, end, worker=0,
@@ -726,6 +735,13 @@ def execute_ops_parallel(
         per_worker_ops={w: 0 for w in range(n_procs)},
     )
     rec = _obs_record._RECORDER
+    # Run identity: prefer the recorder's (qr_factor minted it), else the
+    # ambient context (resume path), else mint one — direct callers of this
+    # function still get workers that know which run they serve.
+    if rec is not None:
+        run_id = rec.run_id
+    else:
+        run_id = _obs_context.current_run_id() or _obs_context.mint_run_id()
     if rec is not None:
         for w in range(n_procs):
             rec.name_lane(w, f"proc {w}")
@@ -747,7 +763,7 @@ def execute_ops_parallel(
         p = ctx.Process(
             target=_worker_main,
             args=(
-                rank, generation, store.name, flags_shm.name,
+                rank, generation, run_id, store.name, flags_shm.name,
                 a.layout, ops, ib, fault_plan, child_conn,
             ),
             daemon=True,
@@ -764,23 +780,27 @@ def execute_ops_parallel(
             lease = pool.lease(
                 n_procs, shm_name=store.name, flags_name=flags_shm.name,
                 layout=a.layout, ops=ops, ib=ib, fault_plan=fault_plan,
+                run_id=run_id,
             )
         else:
             for rank in range(n_procs):
                 spawn(rank, 0)
         stats.spawn_s = time.perf_counter() - t_run
+        # Every span this dispatcher records for worker-reported work hangs
+        # off this root: the workers exist (or were leased) because of it.
+        root_span_id = None
         if rec is not None:
             end = rec.now()
             if pool is not None:
-                rec.add_span(
+                root_span_id = rec.add_span(
                     "pool.lease", "dispatch", end - stats.spawn_s, end,
                     worker=n_procs, args=lease,
-                )
+                ).span_id
             else:
-                rec.add_span(
+                root_span_id = rec.add_span(
                     "spawn", "dispatch", end - stats.spawn_s, end,
                     worker=n_procs, args={"n_procs": n_procs},
-                )
+                ).span_id
 
         ready = _ReadyPool(policy)
 
@@ -835,12 +855,18 @@ def execute_ops_parallel(
                     f"worker {w} failed on {ops[idx].describe()}:\n{tb}"
                 )
             if msg[0] == "attached":
-                _, _, a0, a1 = msg
+                _, _, a0, a1, echoed = msg
+                if echoed != run_id:
+                    raise ParallelExecutionError(
+                        f"worker {w} attached for run {echoed!r} but this "
+                        f"dispatcher serves run {run_id!r} — job header and "
+                        "worker state disagree"
+                    )
                 if rec is not None:
                     rec.add_span(
                         "attach", "dispatch",
                         rec.from_monotonic(a0), rec.from_monotonic(a1),
-                        worker=w,
+                        worker=w, parent=root_span_id,
                     )
                 return
             done = msg[2]
@@ -851,10 +877,14 @@ def execute_ops_parallel(
                 stats.sdc_detected += det
                 stats.sdc_recovered += rcv
                 if rec is not None:
-                    for key, n in ((K_SDC_INJECTED, inj), (K_SDC_DETECTED, det),
-                                   (K_SDC_RECOVERED, rcv)):
+                    for key, etype, n in (
+                        (K_SDC_INJECTED, "sdc.injected", inj),
+                        (K_SDC_DETECTED, "sdc.detected", det),
+                        (K_SDC_RECOVERED, "sdc.recovered", rcv),
+                    ):
                         if n:
                             rec.count(key, n)
+                            rec.event(etype, worker=w, span=root_span_id, n=n)
             completed += len(done)
             if checkpoint is not None:
                 checkpoint.note_done(len(done))
@@ -874,6 +904,7 @@ def execute_ops_parallel(
                         rec.from_monotonic(op_t1),
                         w,
                         op=idx,
+                        parent=root_span_id,
                     )
                 for e in range(succ_index[idx], succ_index[idx + 1]):
                     d = int(succ_task[e])
@@ -915,8 +946,13 @@ def execute_ops_parallel(
             stats.workers_died += 1
             if rec is not None:
                 rec.count(K_WORKER_DEAD)
+                rec.event(
+                    "worker.dead", worker=w, span=root_span_id,
+                    exit_code=code, generation=generations.get(w),
+                )
                 if code == _CRASH_EXIT_CODE:
                     rec.count(K_FAULT_CRASH)
+                    rec.event("fault.crash", worker=w, span=root_span_id)
             lost = sorted(inflight_of.pop(w, ()))
             for idx in lost:
                 attempts[idx] += 1
@@ -938,11 +974,19 @@ def execute_ops_parallel(
                 stats.ops_redispatched += len(lost)
                 if rec is not None:
                     rec.count(K_REDISPATCH_OPS, len(lost))
+                    rec.event(
+                        "retry.redispatch", worker=w, span=root_span_id,
+                        n_ops=len(lost),
+                    )
             if respawn and respawns_used < n_procs:
                 respawns_used += 1
                 stats.workers_respawned += 1
                 if rec is not None:
                     rec.count(K_WORKER_RESTART)
+                    rec.event(
+                        "worker.respawn", worker=w, span=root_span_id,
+                        generation=generations.get(w, 0) + 1,
+                    )
                 if pool is not None:
                     pool.respawn(w)
                 else:

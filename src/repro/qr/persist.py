@@ -40,6 +40,7 @@ import zlib
 
 import numpy as np
 
+from ..obs import context as _obs_context
 from ..obs import record as _obs_record
 from ..obs.record import K_CKPT_BYTES, K_CKPT_WRITES, K_RESUME_SKIPPED
 from ..tiles.layout import TileLayout
@@ -301,6 +302,10 @@ class CheckpointStore:
             dtype=np.int64,
         )
         self._tree = np.array([tree_kind], dtype="U16")
+        # The writing run's trace-context id travels in the archive so a
+        # resume can record its causal parent.  Optional entry — archives
+        # written outside a run (or by older builds) simply omit the edge.
+        self._run = np.array([_obs_context.current_run_id() or ""], dtype="U64")
         # One dense staging buffer instead of one archive entry per tile:
         # ``np.savez`` pays per-entry zip overhead, so hundreds of small
         # entries would dominate the write cost (measured ~30ms vs ~3ms on
@@ -379,6 +384,7 @@ class CheckpointStore:
             "__format__": np.array([_FMT_CHECKPOINT], dtype="U32"),
             "__meta__": self._meta,
             "__tree__": self._tree,
+            "__run__": self._run,
             "__done__": done_mask,
             "__a__": self._a,
             "__t_index__": t_index,
@@ -398,6 +404,10 @@ class CheckpointStore:
         if rec is not None:
             rec.count(K_CKPT_WRITES)
             rec.count(K_CKPT_BYTES, nbytes)
+            rec.event(
+                "ckpt.write", ops_done=int(done_mask.sum()), bytes=nbytes,
+                path=self.path,
+            )
         if self.on_write is not None:
             self.on_write(self.writes)
 
@@ -498,47 +508,62 @@ def resume_factorization(
             f"{os.fspath(path)!r} is internally inconsistent: "
             f"{type(exc).__name__}: {exc}"
         ) from exc
-    ckpt = None if checkpoint is None else as_checkpoint_store(checkpoint)
-    if ckpt is not None:
-        ckpt.bind(tm, ops, ib, tree.value, h, bool(shifted))
+    # The resumed run is a *new* run whose causal parent is the run that
+    # wrote the snapshot (recorded in the archive's ``__run__`` entry; empty
+    # for archives written outside a run or by older builds).
+    parent_run = None
+    if "__run__" in data:
+        parent_run = str(data["__run__"][0]) or None
     rec = _obs_record._RECORDER
-    if rec is not None:
-        rec.count(K_RESUME_SKIPPED, len(skip))
+    run_id = rec.run_id if rec is not None else _obs_context.mint_run_id()
+    ckpt = None if checkpoint is None else as_checkpoint_store(checkpoint)
     pristine = tm.copy() if on_failure == "fallback" else None
     stats = None
-    try:
-        if backend == "serial":
-            factors = execute_ops(
-                tm, ops, ib, fault_plan=fault_plan, checkpoint=ckpt,
-                skip=skip, preloaded_ts=preloaded_ts,
+    with _obs_context.use_run(run_id, parent_run_id=parent_run):
+        if ckpt is not None:
+            ckpt.bind(tm, ops, ib, tree.value, h, bool(shifted))
+        if rec is not None:
+            rec.count(K_RESUME_SKIPPED, len(skip))
+            rec.event(
+                "resume", path=os.fspath(path), ops_skipped=len(skip),
+                parent_run=parent_run,
             )
-        elif backend == "batched":
-            from .wavefront import execute_ops_batched
+        try:
+            if backend == "serial":
+                factors = execute_ops(
+                    tm, ops, ib, fault_plan=fault_plan, checkpoint=ckpt,
+                    skip=skip, preloaded_ts=preloaded_ts,
+                )
+            elif backend == "batched":
+                from .wavefront import execute_ops_batched
 
-            factors = execute_ops_batched(
-                tm, ops, ib, fault_plan=fault_plan, checkpoint=ckpt,
-                skip=skip, preloaded_ts=preloaded_ts,
-            )
-        else:
-            from .parallel import execute_ops_parallel
+                factors = execute_ops_batched(
+                    tm, ops, ib, fault_plan=fault_plan, checkpoint=ckpt,
+                    skip=skip, preloaded_ts=preloaded_ts,
+                )
+            else:
+                from .parallel import execute_ops_parallel
 
-            factors, stats = execute_ops_parallel(
-                tm, ops, ib, n_procs=n_procs, policy=policy, batch=batch,
-                fault_plan=fault_plan, checkpoint=ckpt,
-                completed_ops=skip, preloaded_ts=preloaded_ts,
-            )
-    except ConfigurationError:
-        raise
-    except ReproError as exc:
-        if pristine is None:
+                factors, stats = execute_ops_parallel(
+                    tm, ops, ib, n_procs=n_procs, policy=policy, batch=batch,
+                    fault_plan=fault_plan, checkpoint=ckpt,
+                    completed_ops=skip, preloaded_ts=preloaded_ts,
+                )
+        except ConfigurationError:
             raise
-        from .parallel import _fallback
+        except ReproError as exc:
+            if pristine is None:
+                raise
+            from .parallel import _fallback
 
-        reason = f"{backend} resume failed: {type(exc).__name__}: {exc}"
-        factors, stats = _fallback(
-            pristine, ops, ib, reason, policy,
-            skip=skip, preloaded_ts=preloaded_ts,
-        )
-    f = QRFactorization(factors, tree, backend, stats=stats, ops=ops, ib=ib)
+            reason = f"{backend} resume failed: {type(exc).__name__}: {exc}"
+            factors, stats = _fallback(
+                pristine, ops, ib, reason, policy,
+                skip=skip, preloaded_ts=preloaded_ts,
+            )
+    f = QRFactorization(
+        factors, tree, backend, stats=stats, ops=ops, ib=ib,
+        run_id=run_id, parent_run_id=parent_run,
+    )
     f.ops_skipped = len(skip)
     return f

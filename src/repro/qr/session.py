@@ -281,6 +281,7 @@ class WorkerPool:
         rec = _obs_record._RECORDER
         if rec is not None:
             rec.count(K_POOL_SPAWNS)
+            rec.event("pool.spawn", worker=rank, generation=generation)
 
     def _send_job(self, rank: int) -> None:
         """Send the current job header; slim if the segment is cached."""
@@ -289,20 +290,22 @@ class WorkerPool:
         self.conns[rank].send((
             "job", job["shm_name"], job["flags_name"],
             None if slim else job["layout"], None if slim else job["ops"],
-            job["ib"], job["fault_plan"],
+            job["ib"], job["fault_plan"], job["run_id"],
         ))
         self.known[rank] = job["shm_name"]
 
     def lease(self, k: int, *, shm_name, flags_name, layout, ops, ib,
-              fault_plan) -> dict:
+              fault_plan, run_id=None) -> dict:
         """Hand ranks ``0..k-1`` one job: respawn the dead, brief the rest.
 
+        ``run_id`` travels in the job header so every worker binds its
+        spans and events to the leasing run (trace-context propagation).
         Returns the lease summary ``{"n_procs", "spawned", "reused"}``
         recorded on the dispatcher's ``pool.lease`` span.
         """
         self._job = dict(
             shm_name=shm_name, flags_name=flags_name, layout=layout,
-            ops=ops, ib=ib, fault_plan=fault_plan,
+            ops=ops, ib=ib, fault_plan=fault_plan, run_id=run_id,
         )
         spawned = reused = 0
         for rank in range(k):
@@ -325,6 +328,7 @@ class WorkerPool:
             rec.count(K_POOL_LEASES)
             if reused:
                 rec.count(K_POOL_REUSED, reused)
+            rec.event("pool.lease", n_procs=k, spawned=spawned, reused=reused)
         return {"n_procs": k, "spawned": spawned, "reused": reused}
 
     def respawn(self, rank: int) -> None:
@@ -415,6 +419,9 @@ class QRSession:
         self.plan_cache = PlanCache(plan_cache_size)
         self._pool = WorkerPool(n_procs) if n_procs > 1 else None
         self._closed = False
+        #: ``run_id`` of the most recent ``factor`` call (``None`` before
+        #: the first one) — set by :func:`repro.qr.api.qr_factor`.
+        self.last_run_id: str | None = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -443,6 +450,54 @@ class QRSession:
     def _check_open(self) -> None:
         if self._closed:
             raise ConfigurationError("QRSession is closed")
+
+    def health(self) -> dict:
+        """A point-in-time health snapshot of the session.
+
+        Pure inspection — touches no locks the dispatcher holds and sends
+        nothing to workers, so it is safe to call from a monitoring thread
+        while a factorization is in flight.  Keys:
+
+        ``closed``
+            Whether :meth:`close` has run.
+        ``pool``
+            ``None`` when ``n_procs=1``; otherwise a dict with ``size``,
+            ``alive`` (live worker count), ``workers`` (per-rank
+            ``{"rank", "alive", "generation"}`` rows), and
+            ``generations`` (rank -> generation map).
+        ``plan_cache``
+            ``{"entries", "maxsize", "hits", "misses", "evictions"}``.
+        ``last_run_id``
+            The most recent ``factor`` call's run id (``None`` before the
+            first call).
+        """
+        pool = None
+        if self._pool is not None:
+            pool = {
+                "size": self._pool.size,
+                "alive": self._pool.alive_count(),
+                "workers": [
+                    {
+                        "rank": rank,
+                        "alive": p.is_alive(),
+                        "generation": self._pool.generations.get(rank, 0),
+                    }
+                    for rank, p in sorted(self._pool.procs.items())
+                ],
+                "generations": dict(self._pool.generations),
+            }
+        return {
+            "closed": self._closed,
+            "pool": pool,
+            "plan_cache": {
+                "entries": len(self.plan_cache),
+                "maxsize": self.plan_cache.maxsize,
+                "hits": self.plan_cache.stats.hits,
+                "misses": self.plan_cache.stats.misses,
+                "evictions": self.plan_cache.stats.evictions,
+            },
+            "last_run_id": self.last_run_id,
+        }
 
     # -- factoring ---------------------------------------------------------
 

@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Benchmark regression gate over the append-only trajectory file.
 
-Runs the pinned QR benchmark (serial + batched + parallel backends, plus
-warm persistent-session calls), appends the entry to
+Runs the pinned QR benchmark (serial + batched + parallel backends, warm
+persistent-session calls, plus a telemetry-disabled small-factorization
+burst that bounds the tracing-off fast path), appends the entry to
 ``results/BENCH_qr.json``, and fails when wall time regresses beyond the
 noise band — or when the derived op/flop counters drift at all — against
 the minimum of the last few comparable entries (same pinned config, same
@@ -78,7 +79,8 @@ def main(argv: list[str] | None = None) -> int:
     entry = run_qr_benchmark(**config)
     if args.inject_slowdown is not None:
         for key in (
-            "serial_s", "batched_s", "parallel_s", "session_warm_s", "checkpoint_s",
+            "serial_s", "batched_s", "parallel_s", "session_warm_s",
+            "checkpoint_s", "telemetry_off_s",
         ):
             entry["measured"][key] = round(
                 entry["measured"][key] * args.inject_slowdown, 6
@@ -95,6 +97,7 @@ def main(argv: list[str] | None = None) -> int:
         f"({entry['derived']['session_speedup']}x vs one-shot parallel), "
         f"checkpointed {m['checkpoint_s']:.4f}s "
         f"(+{entry['derived']['checkpoint_overhead_s']:.4f}s overhead), "
+        f"telemetry-off burst {m['telemetry_off_s']:.4f}s, "
         f"counters {entry['counters']}"
     )
 
