@@ -1,0 +1,32 @@
+"""Static correctness analysis: schedule certification.
+
+Companion to the runtime defenses (fault injection, SDC checksums,
+telemetry): instead of *observing* that an execution was correct, the
+tools here *prove* properties of a plan before anything runs.
+
+* :mod:`repro.analysis.races` — the happens-before schedule certifier:
+  given an op list, its dependency DAG, and optionally a wavefront
+  partition, it verifies every conflicting tile access is ordered and
+  emits a machine-readable certificate.  CLI:
+  ``python -m repro.analysis --m 512 --n 96 --nb 32 --tree hier --h 2``.
+
+The project-specific AST lint lives in the sibling package
+:mod:`repro.lint` (``python -m repro.lint src``); both are CI gates —
+see ``docs/static-analysis.md``.
+"""
+
+from .races import (
+    ScheduleCertificate,
+    ScheduleViolation,
+    certify_geometry,
+    certify_schedule,
+    self_check,
+)
+
+__all__ = [
+    "ScheduleCertificate",
+    "ScheduleViolation",
+    "certify_schedule",
+    "certify_geometry",
+    "self_check",
+]

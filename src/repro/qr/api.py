@@ -54,7 +54,11 @@ from ..obs import context as _obs_context
 from ..obs import record as _obs_record
 from ..tiles.matrix import TileMatrix
 from ..trees.plan import TreeKind, plan_all_panels
-from ..util.errors import ConfigurationError, ReproError
+from ..util.errors import (
+    ConfigurationError,
+    ReproError,
+    ScheduleCertificationError,
+)
 from ..util.validation import as_f64_matrix, check_tile_params, require
 from .ops import expand_plans
 from .reference import TileQRFactors, execute_ops
@@ -212,6 +216,7 @@ def qr_factor(
     on_failure: str = "raise",
     checkpoint=None,
     session=None,
+    verify_schedule: bool = False,
 ) -> QRFactorization:
     """Tree-based tile QR factorization of a tall-and-skinny matrix.
 
@@ -387,6 +392,16 @@ def qr_factor(
         ``parallel`` backends; ``n_procs`` must be omitted or equal the
         session's pool size.  ``session.factor(a, ...)`` is the convenience
         spelling of ``qr_factor(a, session=sess, backend="parallel", ...)``.
+    verify_schedule:
+        When ``True``, statically certify the op schedule before executing
+        it: the happens-before certifier (:mod:`repro.analysis.races`)
+        checks that every write-write and read-write conflict on a tile is
+        ordered by the dependency DAG and that the wavefront partition is
+        a tile-disjoint, level-ordered antichain cover, raising
+        :class:`~repro.util.errors.ScheduleCertificationError` otherwise.
+        Adds planning-time cost only (no per-op runtime overhead); off by
+        default.  With ``session=``, the cached plan entry's DAG and
+        wavefronts are certified, so a poisoned cache entry is caught too.
 
     Returns
     -------
@@ -501,6 +516,17 @@ def qr_factor(
             if session is not None:
                 entry = session._plan_entry(kind, tm, ib=ib, h=h, shifted=shifted)
                 plans, ops = entry.plans, entry.ops
+            if verify_schedule:
+                from ..analysis.races import certify_schedule
+
+                graph = None if entry is None else entry.graph()
+                wf = None if entry is None else entry.wavefronts()
+                cert = certify_schedule(ops, graph=graph, wavefronts=wf)
+                if not cert.ok:
+                    raise ScheduleCertificationError(
+                        "schedule failed static certification: "
+                        + cert.summary()
+                    )
             if ckpt is not None:
                 ckpt.bind(tm, ops, ib, kind.value, h, shifted)
             if backend == "serial":

@@ -20,6 +20,7 @@ __all__ = [
     "NetworkError",
     "TagError",
     "ScheduleError",
+    "ScheduleCertificationError",
     "SimulationError",
     "DeadlockError",
     "ParallelExecutionError",
@@ -76,6 +77,18 @@ class TagError(NetworkError):
 
 class ScheduleError(ReproError):
     """An elimination schedule violates tree invariants."""
+
+
+class ScheduleCertificationError(ScheduleError):
+    """The static schedule certifier found an unordered conflicting pair.
+
+    Raised by ``qr_factor(..., verify_schedule=True)`` and by the
+    certifier's self-check (:mod:`repro.analysis.races`) when a plan's op
+    DAG fails to order a write-write or read-write conflict, or a
+    wavefront partition is not a legal level-ordered antichain cover.
+    The message carries the certificate summary; the full violation list
+    is on the :class:`~repro.analysis.races.ScheduleCertificate`.
+    """
 
 
 class SimulationError(ReproError):

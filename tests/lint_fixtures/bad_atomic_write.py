@@ -1,0 +1,10 @@
+"""Fixture: rename-into-place without fsync (torn write after power loss)."""
+
+import os
+
+
+def save(path, data):
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+    os.replace(tmp, path)

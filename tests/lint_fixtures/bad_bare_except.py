@@ -1,0 +1,8 @@
+"""Fixture: a bare except clause swallowing KeyboardInterrupt/SystemExit."""
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except:
+        return None

@@ -1,0 +1,6 @@
+"""Fixture: counter keys outside the canonical K_* vocabulary."""
+
+
+def emit(rec):
+    rec.count("opz.total")
+    rec.count_max("queue.depht", 3)

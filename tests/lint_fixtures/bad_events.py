@@ -1,0 +1,6 @@
+"""Fixture: event emits that violate the EVENT_TYPES schema."""
+
+
+def emit(rec):
+    rec.event("totally.bogus", reason="nope")
+    rec.event("pool.spawn", flavor="vanilla", rank=0)

@@ -1,0 +1,15 @@
+"""Fixture: mutable default arguments, positional and keyword-only."""
+
+
+def collect(item, acc=[]):
+    acc.append(item)
+    return acc
+
+
+def index(key, *, table={}):
+    return table.setdefault(key, len(table))
+
+
+def uniq(item, seen=set()):
+    seen.add(item)
+    return seen

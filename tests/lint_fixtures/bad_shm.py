@@ -1,0 +1,7 @@
+"""Fixture: a shared-memory segment created and never closed/unlinked."""
+
+from multiprocessing import shared_memory
+
+
+def leak(size):
+    return shared_memory.SharedMemory(create=True, size=size)

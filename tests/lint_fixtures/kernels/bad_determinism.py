@@ -1,0 +1,23 @@
+"""Fixture: hot-path nondeterminism — every call below must be flagged."""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter():
+    t0 = time.time()
+    t1 = time.time_ns()
+    x = random.random()
+    random.shuffle([1, 2, 3])
+    y = np.random.rand(4)
+    z = np.random.randint(0, 10)
+    return t0, t1, x, y, z
+
+
+def fine():
+    # Explicitly seeded draws are allowed.
+    rng = np.random.default_rng(42)
+    local = random.Random(7)
+    return rng.standard_normal(3), local.random()

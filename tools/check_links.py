@@ -48,6 +48,7 @@ DEFAULT_FILES = (
     "docs/performance.md",
     "docs/robustness.md",
     "docs/sessions.md",
+    "docs/static-analysis.md",
     "docs/tuning.md",
 )
 
